@@ -1,0 +1,44 @@
+"""Extension benches — the operator-facing analyses beyond the paper.
+
+* EMF: the siting constraint in numbers (HP needs ~46 m clearance under the
+  strict national limits the paper lists; the 10 W repeater complies within
+  3 m — mountable on any catenary mast),
+* uplink closure at every registered operating point,
+* per-traversal data volume parity ("maintaining the same data capacity"),
+* 10-year economics of the three deployment strategies.
+"""
+
+import pytest
+
+from repro.experiments.extensions import (
+    run_economics,
+    run_emf,
+    run_traversal,
+    run_uplink,
+)
+
+
+def bench_emf_compliance(benchmark):
+    result = benchmark(run_emf)
+    assert result.hp["switzerland"] > 40.0
+    assert all(d < 3.5 for d in result.lp.values())
+
+
+def bench_uplink_closure(benchmark):
+    result = benchmark.pedantic(lambda: run_uplink(resolution_m=5.0),
+                                rounds=1, iterations=1)
+    for n, isd, ul, dl in result.rows:
+        assert ul > 0.0, f"N={n} @ {isd} m"
+        assert dl > ul
+
+
+def bench_traversal_volume(benchmark):
+    result = benchmark.pedantic(run_traversal, rounds=1, iterations=1)
+    per_km = [r[3] for r in result.rows]
+    assert max(per_km) / min(per_km) < 1.05
+
+
+def bench_economics_ten_years(benchmark):
+    result = benchmark(run_economics)
+    totals = {r[0]: r[4] for r in result.rows}
+    assert totals["repeaters, sleep"] < 0.5 * totals["conventional"]

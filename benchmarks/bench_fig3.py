@@ -1,0 +1,36 @@
+"""Fig. 3 — signal and noise power profile (d_ISD = 2400 m, N = 8).
+
+Regenerates the figure's series and checks the in-text observations: the
+serving HP signal falls below -100 dBm within the first half-segment while
+the total signal stays above -100 dBm everywhere.
+"""
+
+import numpy as np
+
+from repro.experiments.fig3 import run_fig3
+
+
+def bench_fig3_profile(benchmark):
+    result = benchmark(run_fig3)
+
+    assert result.layout.isd_m == 2400.0
+    assert result.layout.n_repeaters == 8
+    # Total signal kept above -100 dBm thanks to the repeaters.
+    assert np.min(result.profile.total_signal_dbm) > -100.0
+    # The serving HP cell alone drops below -100 dBm early.
+    assert result.hp_below_100dbm_after_m < 1200.0
+    # Peak throughput sustained everywhere.
+    assert result.profile.min_snr_db > 29.0
+    # Series columns are figure-ready.
+    series = result.series()
+    assert len(series["position_m"]) == len(series["total_noise_dbm"])
+
+
+def bench_fig3_snr_kernel(benchmark):
+    """Microbenchmark of the Eq. (2) SNR-profile kernel itself."""
+    from repro.corridor.layout import CorridorLayout
+    from repro.radio.link import compute_snr_profile
+
+    layout = CorridorLayout.with_uniform_repeaters(2400.0, 8)
+    profile = benchmark(compute_snr_profile, layout)
+    assert profile.snr_db.shape == profile.positions_m.shape

@@ -1,0 +1,43 @@
+"""Fig. 4 — average energy consumption per km, three operating policies.
+
+Regenerates every bar of the figure and asserts the paper's headline numbers:
+conventional ~467 W/km, sleep-mode savings 57 % (N=1) and 74 % (N=10), solar
+savings 59 % and 79 %, and the 50 % threshold crossed from N = 3 with
+continuously powered repeaters.
+"""
+
+import pytest
+
+from repro.experiments.fig4 import run_fig4
+
+
+def bench_fig4_paper_isds(benchmark):
+    result = benchmark(run_fig4)
+
+    rows = {r.n_repeaters: r for r in result.rows}
+    assert rows[0].sleep_w_per_km == pytest.approx(467.2, abs=0.5)
+    assert 100 * rows[1].sleep_savings == pytest.approx(57.0, abs=0.5)
+    assert 100 * rows[10].sleep_savings == pytest.approx(74.0, abs=0.5)
+    assert 100 * rows[1].solar_savings == pytest.approx(59.0, abs=0.7)
+    assert 100 * rows[10].solar_savings == pytest.approx(79.0, abs=0.5)
+    for n in range(3, 11):
+        assert rows[n].continuous_savings > 0.50
+
+
+def bench_fig4_model_derived(benchmark):
+    """End-to-end variant: ISDs from the capacity model, then the energy
+    figure — the full pipeline the paper describes."""
+    from repro.experiments.fig4 import run_fig4 as fig4
+    from repro.optimize.isd import sweep_max_isd
+
+    def pipeline():
+        sweep = sweep_max_isd(n_max=10, resolution_m=8.0, include_zero=False,
+                              isd_step_m=50.0)
+        return fig4(isd_by_n=sweep.max_isd_by_n)
+
+    result = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+    rows = {r.n_repeaters: r for r in result.rows}
+    # Shape holds end to end: monotone savings, >70 % at N=10 (sleep).
+    assert rows[10].sleep_savings > 0.70
+    savings = [rows[n].sleep_savings for n in range(1, 11)]
+    assert all(b >= a - 1e-9 for a, b in zip(savings, savings[1:]))

@@ -1,0 +1,20 @@
+"""Table I — repeater component power breakdown.
+
+Asserts the published totals: 4.72 W sleep, 24.26 W no load (Table II's P0),
+and ~28.4 W full load under TDD operation.
+"""
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+
+
+def bench_table1_breakdown(benchmark):
+    result = benchmark(run_table1)
+
+    assert result.sleep_w == pytest.approx(4.72)
+    assert result.no_load_w == pytest.approx(24.26, abs=0.01)
+    assert result.full_load_tdd_w == pytest.approx(28.38, abs=0.4)
+    assert result.full_load_simultaneous_w == pytest.approx(31.9, abs=0.1)
+    # Orderings that make the sleep mode worthwhile.
+    assert result.sleep_w < 0.2 * result.no_load_w

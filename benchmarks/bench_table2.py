@@ -1,0 +1,18 @@
+"""Table II — EARTH power-model parameters and derived site powers.
+
+Asserts the Section III-B site figures (560 / 336 / 224 W) and the abstract's
+"repeaters consume only 5 % of the energy of a regular cell site".
+"""
+
+import pytest
+
+from repro.experiments.table2 import run_table2
+
+
+def bench_table2_profiles(benchmark):
+    result = benchmark(run_table2)
+
+    assert result.hp_site_full_w == pytest.approx(560.0)
+    assert result.hp_site_no_load_w == pytest.approx(336.0)
+    assert result.hp_site_sleep_w == pytest.approx(224.0)
+    assert result.repeater_energy_share_of_site == pytest.approx(0.05, abs=0.005)

@@ -1,0 +1,21 @@
+"""Table III — traffic scenario and the duty cycles it implies.
+
+Asserts the in-text derived quantities: 16-55 s full load per train,
+2.85 % / 9.66 % duty at 500 / 2650 m, and the sleeping repeater's 5.17 W
+(124.1 Wh/day) average.
+"""
+
+import pytest
+
+from repro.experiments.table3 import run_table3
+
+
+def bench_table3_duty_cycles(benchmark):
+    result = benchmark(run_table3)
+
+    assert result.full_load_s_at_500m == pytest.approx(16.2, abs=0.1)
+    assert result.full_load_s_at_2650m == pytest.approx(54.9, abs=0.1)
+    assert 100 * result.duty_at_500m == pytest.approx(2.85, abs=0.01)
+    assert 100 * result.duty_at_2650m == pytest.approx(9.66, abs=0.01)
+    assert result.lp_sleeping_avg_w == pytest.approx(5.17, abs=0.005)
+    assert result.lp_sleeping_wh_per_day == pytest.approx(124.1, abs=0.1)

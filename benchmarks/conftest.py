@@ -1,0 +1,11 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*`` module regenerates one table or figure of the paper (see
+DESIGN.md section 5) and asserts the reproduced values, so the benchmark run
+doubles as an end-to-end verification pass:
+
+    pytest benchmarks/ --benchmark-only
+
+Slow experiments use ``benchmark.pedantic`` with a single round; fast kernels
+let pytest-benchmark calibrate itself.
+"""

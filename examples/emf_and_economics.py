@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""EMF siting and deployment economics: the operator's view.
+
+The paper motivates short ISDs with "stringent EMF limits enforced in certain
+countries" and argues sustainability.  This script makes both concrete:
+
+1. compliance distances of the 64 dBm high-power antennas vs. the 40 dBm
+   repeaters under ICNIRP and the strict national installation limits
+   (Switzerland/Italy/Poland),
+2. a 10-year total-cost comparison of the three deployment strategies on a
+   100 km corridor, with a sensitivity sweep over the electricity price, and
+3. the payback period if repeaters carried a heavy price premium.
+
+Run:  python examples/emf_and_economics.py
+"""
+
+from repro import constants
+from repro.corridor.deployment import CorridorDeployment
+from repro.economics.costmodel import (
+    CostAssumptions,
+    corridor_cost,
+    retrofit_payback_years,
+)
+from repro.energy.scenario import OperatingMode
+from repro.experiments.extensions import run_economics, run_emf
+from repro.reporting.tables import format_table
+
+
+def main() -> None:
+    # --- 1. EMF: why repeaters can live on catenary masts ---------------------
+    emf = run_emf()
+    print(emf.table())
+    print("\nThe HP antenna needs ~45 m of clearance under the strict national"
+          "\nlimits — the EMF-driven siting problem behind the paper's short"
+          "\nISDs — while the 10 W repeater complies within 3 m of the mast.\n")
+
+    # --- 2. 10-year cost of the three strategies ------------------------------
+    econ = run_economics()
+    print(econ.table())
+
+    # sensitivity: electricity price
+    rows = []
+    for price in (0.10, 0.25, 0.40, 0.60):
+        assumptions = CostAssumptions(energy_price_per_kwh=price)
+        conventional = corridor_cost(CorridorDeployment.conventional(),
+                                     OperatingMode.SLEEP, 100.0, 10.0, assumptions)
+        sleep = corridor_cost(CorridorDeployment.with_repeaters(2650.0, 10),
+                              OperatingMode.SLEEP, 100.0, 10.0, assumptions)
+        rows.append([price, conventional.total / 1e6, sleep.total / 1e6,
+                     100 * (1 - sleep.total / conventional.total)])
+    print()
+    print(format_table(
+        ["EUR/kWh", "conventional [MEUR]", "repeaters [MEUR]", "saving %"],
+        rows, title="Sensitivity: electricity price (100 km, 10 years)"))
+
+    # --- 3. payback under a repeater price premium -----------------------------
+    print("\nPayback period of the repeater corridor if repeater hardware were"
+          " more expensive:")
+    for premium in (8_000.0, 30_000.0, 50_000.0, 80_000.0):
+        assumptions = CostAssumptions(repeater_capex=premium, donor_capex=premium)
+        payback = retrofit_payback_years(
+            CorridorDeployment.with_repeaters(2650.0, 10),
+            assumptions=assumptions)
+        label = "immediate (cheaper to build)" if payback == 0.0 else (
+            f"{payback:.1f} years" if payback != float("inf") else "never")
+        print(f"  {premium / 1000:5.0f} kEUR per LP node: {label}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Whole-line study: heterogeneous sections, real demand, cell borders.
+
+A realistic planning exercise on a 106 km line with three intermediate
+stations:
+
+1. station zones keep the conventional 500 m layout; the open track uses the
+   paper's N = 10 repeater segments — a :class:`LinePlan` aggregates energy
+   and equipment across the mix,
+2. the full-buffer assumption is relaxed: a demand model (passengers x usage)
+   drives the EARTH load term, quantifying the extra saving real traffic
+   brings, and
+3. the line is partitioned into BBU cells; the SINR dip at each cell border
+   tells us how much track runs below peak rate and why borders belong at
+   stations.
+
+Run:  python examples/whole_line_study.py
+"""
+
+from repro.corridor.multisegment import LinePlan
+from repro.power.profiles import HP_RRH_PROFILE, LP_REPEATER_PROFILE
+from repro.radio.interference import cell_border_sinr, peak_outage_span_m
+from repro.reporting.tables import format_table
+from repro.traffic.loadmodel import (
+    DemandModel,
+    average_power_with_demand_w,
+    demand_load_fraction,
+)
+
+
+def main() -> None:
+    # --- 1. the line plan -----------------------------------------------------
+    plan = LinePlan.mixed_line(open_track_km=100.0, station_zones=3)
+    counts = plan.equipment_counts()
+    print(f"Line: {plan.length_km:.0f} km, "
+          f"{len(plan.sections)} sections "
+          f"({counts['hp_masts']} HP masts, {counts['service_nodes']} service "
+          f"nodes, {counts['donor_nodes']} donors)")
+    print(f"  average power : {plan.average_w_per_km():.1f} W/km")
+    print(f"  annual energy : {plan.annual_energy_mwh():.0f} MWh")
+    print(f"  saving vs all-conventional: "
+          f"{100 * plan.savings_vs_conventional():.1f} %\n")
+
+    # --- 2. demand-driven load -------------------------------------------------
+    scenarios = {
+        "full buffer (paper)": DemandModel(rate_per_active_bps=100e6),
+        "busy commuter train": DemandModel(),
+        "off-peak train": DemandModel(occupancy=0.25, active_share=0.25),
+    }
+    rows = []
+    for name, demand in scenarios.items():
+        chi = demand_load_fraction(demand)
+        hp = average_power_with_demand_w(2650.0, HP_RRH_PROFILE.model, demand)
+        lp = average_power_with_demand_w(200.0, LP_REPEATER_PROFILE.model, demand)
+        rows.append([name, chi, hp, lp])
+    print(format_table(
+        ["demand scenario", "load chi", "HP RRH avg [W]", "LP node avg [W]"],
+        rows, title="Demand-driven load (N=10 segment sections)"))
+    print("(the paper's numbers are the chi = 1 row; real demand saves more)\n")
+
+    # --- 3. cell borders ---------------------------------------------------------
+    profile = cell_border_sinr()
+    outage = peak_outage_span_m()
+    print("Cell borders (adjacent BBU cells on the same carrier):")
+    print(f"  SINR at the border      : {profile.border_sinr_db:.2f} dB")
+    print(f"  below-peak track per side: {outage:.0f} m")
+    print(f"  with 10 km BBU cells, {2 * outage / 10_000 * 100:.1f} % of the "
+          "line runs below peak at borders —")
+    print("  placing borders inside station zones (trains slow, handover "
+          "expected) removes the cost entirely.")
+
+
+if __name__ == "__main__":
+    main()

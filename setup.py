@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Allows legacy editable installs (``pip install -e . --no-use-pep517``) in
+offline environments that lack the ``wheel`` package; all metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""Baseline deployments the paper compares against (or displaced).
+
+* :mod:`repro.baselines.conventional` — the HP-only 500 m corridor baseline,
+* :mod:`repro.baselines.onboard_relay` — active onboard train relays (650 W),
+  the legacy alternative the introduction discusses,
+* :mod:`repro.baselines.inband` — in-band repeater isolation feasibility,
+  explaining why the paper uses out-of-band repeaters outdoors.
+"""
+
+from repro.baselines.conventional import ConventionalCorridor
+from repro.baselines.onboard_relay import OnboardRelayFleet
+from repro.baselines.inband import InbandFeasibility, inband_isolation_margin_db
+
+__all__ = [
+    "ConventionalCorridor",
+    "OnboardRelayFleet",
+    "InbandFeasibility",
+    "inband_isolation_margin_db",
+]

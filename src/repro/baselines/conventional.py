@@ -1,0 +1,51 @@
+"""The conventional cellular-corridor baseline: HP masts only, every 500 m."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import constants
+from repro.capacity.shannon import TruncatedShannonModel
+from repro.capacity.throughput import throughput_profile
+from repro.corridor.layout import CorridorLayout
+from repro.energy.duty import EnergyParams
+from repro.energy.scenario import OperatingMode, SegmentEnergy, segment_energy
+from repro.radio.link import LinkParams, compute_snr_profile
+
+__all__ = ["ConventionalCorridor"]
+
+
+@dataclass(frozen=True)
+class ConventionalCorridor:
+    """HP-only corridor used as the reference throughout the paper.
+
+    Exposes the same capacity/energy interface as repeater-extended layouts so
+    experiments can treat baselines and proposals uniformly.
+    """
+
+    isd_m: float = constants.CONVENTIONAL_ISD_M
+    link: LinkParams = field(default_factory=LinkParams)
+    energy: EnergyParams = field(default_factory=EnergyParams)
+
+    @property
+    def layout(self) -> CorridorLayout:
+        return CorridorLayout.conventional(self.isd_m)
+
+    def min_snr_db(self, resolution_m: float = 1.0) -> float:
+        """Worst-case SNR of the baseline segment."""
+        return compute_snr_profile(self.layout, self.link, resolution_m).min_snr_db
+
+    def sustains_peak(self, capacity: TruncatedShannonModel | None = None,
+                      resolution_m: float = 1.0) -> bool:
+        """Whether the baseline sustains peak throughput everywhere."""
+        capacity = capacity or TruncatedShannonModel()
+        snr = compute_snr_profile(self.layout, self.link, resolution_m)
+        return throughput_profile(snr, capacity).sustains_peak_everywhere
+
+    def segment_energy(self) -> SegmentEnergy:
+        """Energy of the baseline (HP RRHs with sleep mode, per Fig. 4)."""
+        return segment_energy(self.layout, OperatingMode.SLEEP, self.energy)
+
+    @property
+    def w_per_km(self) -> float:
+        return self.segment_energy().w_per_km

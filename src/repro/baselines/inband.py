@@ -1,0 +1,82 @@
+"""In-band repeater feasibility — why the paper goes out-of-band.
+
+"In-band repeaters require high isolation between the antenna directed at the
+donor cell and the antenna for the service cell.  Hence, in-band repeaters are
+rarely considered for outdoor scenarios ..." (Section III)
+
+An in-band amplify-and-forward repeater oscillates (or must back its gain off)
+unless the donor-service antenna isolation exceeds the repeater gain by a
+stability margin.  This module computes the isolation an outdoor catenary-mast
+installation would need, showing it is unattainable — the quantitative
+justification for the mmWave out-of-band design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["InbandFeasibility", "inband_isolation_margin_db"]
+
+#: Gain margin below the isolation required for stable operation.  15 dB is a
+#: common engineering rule for AF repeaters (loop gain <= -15 dB).
+DEFAULT_STABILITY_MARGIN_DB = 15.0
+
+
+def inband_isolation_margin_db(repeater_gain_db: float,
+                               antenna_isolation_db: float,
+                               stability_margin_db: float = DEFAULT_STABILITY_MARGIN_DB) -> float:
+    """Isolation headroom (positive = stable) of an in-band repeater."""
+    if repeater_gain_db < 0:
+        raise ConfigurationError(f"repeater gain must be >= 0 dB, got {repeater_gain_db}")
+    return antenna_isolation_db - repeater_gain_db - stability_margin_db
+
+
+@dataclass(frozen=True)
+class InbandFeasibility:
+    """Feasibility assessment of an in-band repeater installation.
+
+    ``required_gain_db`` is the end-to-end gain the service area needs (input
+    RSRP to output RSTP); ``achievable_isolation_db`` what the mounting
+    geometry provides (back-to-back antennas on a catenary mast reach roughly
+    60-80 dB outdoors; indoor wall-separated deployments exceed 100 dB).
+    """
+
+    required_gain_db: float
+    achievable_isolation_db: float = 70.0
+    stability_margin_db: float = DEFAULT_STABILITY_MARGIN_DB
+
+    def __post_init__(self) -> None:
+        if self.achievable_isolation_db < 0:
+            raise ConfigurationError(
+                f"isolation must be >= 0 dB, got {self.achievable_isolation_db}")
+
+    @property
+    def margin_db(self) -> float:
+        """Positive when the repeater is stable at the required gain."""
+        return inband_isolation_margin_db(self.required_gain_db,
+                                          self.achievable_isolation_db,
+                                          self.stability_margin_db)
+
+    @property
+    def feasible(self) -> bool:
+        return self.margin_db >= 0.0
+
+    @property
+    def max_stable_gain_db(self) -> float:
+        """Largest gain the isolation supports."""
+        return self.achievable_isolation_db - self.stability_margin_db
+
+    @classmethod
+    def for_corridor_node(cls, donor_rsrp_dbm: float, target_rstp_dbm: float,
+                          achievable_isolation_db: float = 70.0) -> "InbandFeasibility":
+        """Assessment for a corridor repeater that must re-transmit at
+        ``target_rstp_dbm`` from a donor signal received at ``donor_rsrp_dbm``."""
+        gain = target_rstp_dbm - donor_rsrp_dbm
+        if gain < 0:
+            raise ConfigurationError(
+                f"target RSTP {target_rstp_dbm} below donor RSRP {donor_rsrp_dbm}: "
+                "no repeater needed")
+        return cls(required_gain_db=gain,
+                   achievable_isolation_db=achievable_isolation_db)

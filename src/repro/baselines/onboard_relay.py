@@ -1,0 +1,73 @@
+"""Active onboard relay baseline.
+
+Before penetration-optimized (FSS) windows became state of the art, operators
+installed active relays inside train wagons to overcome the Faraday-cage
+attenuation.  The paper's introduction quantifies them: 650 W for five
+frequency bands per relay, plus the cooling burden, and notes they are hard to
+upgrade.  This module models the fleet-level energy of that approach so the
+corridor comparison can include it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import constants
+from repro.errors import ConfigurationError
+
+__all__ = ["OnboardRelayFleet"]
+
+
+@dataclass(frozen=True)
+class OnboardRelayFleet:
+    """Energy model of onboard relays across a train fleet.
+
+    Parameters
+    ----------
+    relays_per_train:
+        Relay units per trainset (roughly one per few wagons).
+    relay_power_w:
+        Electrical power per relay (the paper's 650 W figure).
+    cooling_overhead:
+        Extra fraction of relay power spent on cooling inside the wagon.
+    duty:
+        Fraction of time relays run (they serve passengers whenever the train
+        operates, i.e. close to the service-hours share of the day).
+    """
+
+    relays_per_train: int = 2
+    relay_power_w: float = constants.ONBOARD_RELAY_POWER_W
+    cooling_overhead: float = 0.30
+    duty: float = 19.0 / 24.0
+
+    def __post_init__(self) -> None:
+        if self.relays_per_train < 1:
+            raise ConfigurationError(f"need >= 1 relay per train, got {self.relays_per_train}")
+        if self.relay_power_w <= 0:
+            raise ConfigurationError(f"relay power must be positive, got {self.relay_power_w}")
+        if self.cooling_overhead < 0:
+            raise ConfigurationError(f"cooling overhead must be >= 0, got {self.cooling_overhead}")
+        if not 0.0 <= self.duty <= 1.0:
+            raise ConfigurationError(f"duty must be in [0, 1], got {self.duty}")
+
+    @property
+    def average_power_per_train_w(self) -> float:
+        """24 h-average electrical power of one train's relays."""
+        return (self.relays_per_train * self.relay_power_w
+                * (1.0 + self.cooling_overhead) * self.duty)
+
+    def fleet_average_power_w(self, n_trains: int) -> float:
+        """24 h-average power of a whole fleet."""
+        if n_trains < 0:
+            raise ConfigurationError(f"train count must be >= 0, got {n_trains}")
+        return n_trains * self.average_power_per_train_w
+
+    def per_km_equivalent_w(self, n_trains: int, corridor_km: float) -> float:
+        """Fleet power normalized per corridor km (for Fig. 4-style comparison)."""
+        if corridor_km <= 0:
+            raise ConfigurationError(f"corridor length must be positive, got {corridor_km}")
+        return self.fleet_average_power_w(n_trains) / corridor_km
+
+    def annual_energy_mwh(self, n_trains: int) -> float:
+        """Yearly fleet energy [MWh]."""
+        return self.fleet_average_power_w(n_trains) * 24 * 365 / 1e6

@@ -1,0 +1,75 @@
+"""Truncated Shannon bound — 3GPP TR 36.942 Annex A.2.
+
+    Thr(SNR) = 0                      for SNR < SNR_min
+             = alpha * log2(1 + SNR)  for SNR_min <= SNR < SNR_max
+             = Thr_max                for SNR >= SNR_max
+
+with ``SNR_max`` implicitly defined by ``alpha * log2(1 + SNR_max) = Thr_max``.
+The paper uses ``alpha = 0.6`` and ``Thr_max = 5.84 bps/Hz``, which puts the
+peak-throughput threshold at 29.30 dB (the "SNR > 29 dB" criterion of
+Section V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import constants
+from repro.errors import ConfigurationError
+
+__all__ = ["TruncatedShannonModel", "peak_snr_threshold_db"]
+
+
+def peak_snr_threshold_db(alpha: float = constants.THROUGHPUT_ALPHA,
+                          max_bps_hz: float = constants.THROUGHPUT_MAX_BPS_HZ) -> float:
+    """SNR (dB) above which the truncated Shannon bound saturates at its peak."""
+    if alpha <= 0:
+        raise ConfigurationError(f"alpha must be positive, got {alpha}")
+    snr_linear = 2.0 ** (max_bps_hz / alpha) - 1.0
+    return float(10.0 * np.log10(snr_linear))
+
+
+@dataclass(frozen=True)
+class TruncatedShannonModel:
+    """Calibrated link-level capacity model.
+
+    Attributes
+    ----------
+    alpha:
+        Attenuation factor representing implementation losses.
+    max_bps_hz:
+        Hard ceiling on spectral efficiency (5G NR peak in the paper).
+    min_snr_db:
+        Below this SNR the link delivers zero throughput (TR 36.942: -10 dB).
+    """
+
+    alpha: float = constants.THROUGHPUT_ALPHA
+    max_bps_hz: float = constants.THROUGHPUT_MAX_BPS_HZ
+    min_snr_db: float = constants.THROUGHPUT_MIN_SNR_DB
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ConfigurationError(f"alpha must be positive, got {self.alpha}")
+        if self.max_bps_hz <= 0:
+            raise ConfigurationError(f"max spectral efficiency must be positive, got {self.max_bps_hz}")
+
+    @property
+    def peak_snr_db(self) -> float:
+        """SNR at which the model saturates (29.30 dB with paper defaults)."""
+        return peak_snr_threshold_db(self.alpha, self.max_bps_hz)
+
+    def spectral_efficiency(self, snr_db):
+        """Spectral efficiency in bps/Hz for scalar or array SNR (dB)."""
+        snr = np.asarray(snr_db, dtype=float)
+        linear = 10.0 ** (snr / 10.0)
+        eff = self.alpha * np.log2(1.0 + linear)
+        eff = np.minimum(eff, self.max_bps_hz)
+        eff = np.where(snr < self.min_snr_db, 0.0, eff)
+        return float(eff) if np.ndim(snr_db) == 0 else eff
+
+    def is_peak(self, snr_db) -> bool | np.ndarray:
+        """Whether the given SNR sustains peak throughput."""
+        out = np.asarray(snr_db, dtype=float) >= self.peak_snr_db
+        return bool(out) if np.ndim(snr_db) == 0 else out

@@ -1,0 +1,70 @@
+"""Throughput profile along the track: SNR profile x Shannon model x carrier."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.capacity.shannon import TruncatedShannonModel
+from repro.radio.carrier import NrCarrier
+from repro.radio.link import SnrProfile
+
+__all__ = ["ThroughputProfile", "throughput_profile"]
+
+
+@dataclass(frozen=True)
+class ThroughputProfile:
+    """Throughput along a corridor segment.
+
+    ``throughput_bps`` is the carrier-level throughput at each grid position;
+    summary statistics answer the paper's questions (does every point sustain
+    the 5G NR peak; what is the average capacity a traversing train sees).
+    """
+
+    positions_m: np.ndarray
+    spectral_efficiency_bps_hz: np.ndarray
+    throughput_bps: np.ndarray
+    model: TruncatedShannonModel
+    carrier: NrCarrier = field(default_factory=NrCarrier)
+
+    @property
+    def min_bps(self) -> float:
+        """Worst-case throughput along the segment."""
+        return float(np.min(self.throughput_bps))
+
+    @property
+    def mean_bps(self) -> float:
+        """Position-averaged throughput — what a constant-speed train averages."""
+        return float(np.mean(self.throughput_bps))
+
+    @property
+    def peak_bps(self) -> float:
+        """Carrier peak throughput (model ceiling x bandwidth)."""
+        return float(self.model.max_bps_hz * self.carrier.bandwidth_hz)
+
+    @property
+    def sustains_peak_everywhere(self) -> bool:
+        """True when every position runs at the model's peak efficiency."""
+        return bool(np.all(self.spectral_efficiency_bps_hz >= self.model.max_bps_hz - 1e-12))
+
+    def peak_fraction(self) -> float:
+        """Fraction of track positions that sustain peak throughput."""
+        at_peak = self.spectral_efficiency_bps_hz >= self.model.max_bps_hz - 1e-12
+        return float(np.mean(at_peak))
+
+
+def throughput_profile(snr: SnrProfile,
+                       model: TruncatedShannonModel | None = None,
+                       carrier: NrCarrier | None = None) -> ThroughputProfile:
+    """Map an SNR profile to a throughput profile."""
+    model = model or TruncatedShannonModel()
+    carrier = carrier or NrCarrier()
+    eff = model.spectral_efficiency(snr.snr_db)
+    return ThroughputProfile(
+        positions_m=snr.positions_m,
+        spectral_efficiency_bps_hz=eff,
+        throughput_bps=eff * carrier.bandwidth_hz,
+        model=model,
+        carrier=carrier,
+    )

@@ -1,0 +1,81 @@
+"""Command-line interface: ``repro <experiment>`` or ``python -m repro ...``.
+
+Examples::
+
+    repro list                  # available experiments
+    repro fig4                  # print the Fig. 4 table
+    repro table4 --csv out/     # also dump the CSV series
+    repro all --csv out/        # run everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.runner import ALL_EXPERIMENTS, run_all, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Reproduction of 'Increasing Cellular Network Energy "
+                     "Efficiency for Railway Corridors' (DATE 2022)"),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'repro list'), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write each experiment's data series as CSV into DIR",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the formatted tables (useful with --csv)",
+    )
+    return parser
+
+
+def _print_result(experiment_id: str, result, quiet: bool) -> None:
+    if quiet:
+        return
+    if hasattr(result, "table"):
+        print(result.table())
+    else:
+        print(f"[{experiment_id}] {result!r}")
+    print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.experiment == "list":
+        width = max(len(k) for k in ALL_EXPERIMENTS)
+        for spec in ALL_EXPERIMENTS.values():
+            print(f"{spec.experiment_id:<{width}}  {spec.description}")
+        return 0
+
+    if args.experiment == "all":
+        results = run_all(output_dir=args.csv)
+        for eid, result in results.items():
+            _print_result(eid, result, args.quiet)
+        return 0
+
+    if args.experiment not in ALL_EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; try 'repro list'",
+              file=sys.stderr)
+        return 2
+
+    result = run_experiment(args.experiment, output_dir=args.csv)
+    _print_result(args.experiment, result, args.quiet)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,130 @@
+"""Scenario configuration: one serializable object tying the models together.
+
+A :class:`ScenarioConfig` captures everything needed to rerun an evaluation —
+link constants, traffic scenario, power parameters, solar system — and round-
+trips through JSON so experiment configurations can be stored alongside their
+results.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+
+from repro import constants
+from repro.errors import ConfigurationError
+
+__all__ = ["ScenarioConfig", "load_config", "save_config"]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Flat, serializable snapshot of a corridor evaluation scenario.
+
+    This intentionally mirrors the paper's parameter tables rather than the
+    internal object graph: the builder methods construct the typed model
+    objects from it.
+    """
+
+    # Link / capacity (Section III-A)
+    carrier_frequency_hz: float = constants.DEFAULT_CARRIER_FREQUENCY_HZ
+    bandwidth_hz: float = constants.NR_CARRIER_BANDWIDTH_HZ
+    n_subcarriers: int = constants.NR_SUBCARRIER_COUNT
+    hp_eirp_dbm: float = constants.HP_EIRP_DBM
+    lp_eirp_dbm: float = constants.LP_EIRP_DBM
+    hp_calibration_db: float = constants.HP_CALIBRATION_DB
+    lp_calibration_db: float = constants.LP_CALIBRATION_DB
+    repeater_noise_model: str = "paper"
+    fronthaul_snr_at_1km_db: float = 33.0
+
+    # Traffic (Table III)
+    trains_per_hour: float = constants.TRAINS_PER_HOUR
+    night_quiet_hours: float = constants.NIGHT_QUIET_HOURS
+    train_length_m: float = constants.TRAIN_LENGTH_M
+    train_speed_kmh: float = constants.TRAIN_SPEED_KMH
+    lp_node_spacing_m: float = constants.LP_NODE_SPACING_M
+
+    # Corridor
+    conventional_isd_m: float = constants.CONVENTIONAL_ISD_M
+
+    # Solar (Section IV-B)
+    pv_peak_w: float = constants.PV_DEFAULT_PEAK_W
+    battery_wh: float = constants.BATTERY_DEFAULT_WH
+    battery_cutoff: float = constants.BATTERY_DISCHARGE_CUTOFF
+    solar_seed: int = 2022
+
+    def __post_init__(self) -> None:
+        if self.repeater_noise_model not in ("paper", "fronthaul_star", "fronthaul_chain"):
+            raise ConfigurationError(
+                f"unknown repeater noise model {self.repeater_noise_model!r}")
+        if self.carrier_frequency_hz <= 0 or self.bandwidth_hz <= 0:
+            raise ConfigurationError("carrier frequency and bandwidth must be positive")
+        if self.trains_per_hour < 0:
+            raise ConfigurationError("trains per hour must be >= 0")
+
+    # -- builders --------------------------------------------------------------
+
+    def link_params(self):
+        """Build :class:`repro.radio.link.LinkParams` from this scenario."""
+        from repro.propagation.fronthaul import FronthaulParams, FronthaulTopology
+        from repro.radio.carrier import NrCarrier
+        from repro.radio.link import LinkParams
+        from repro.radio.noise import RepeaterNoiseModel
+
+        topology = (FronthaulTopology.CHAIN
+                    if self.repeater_noise_model == "fronthaul_chain"
+                    else FronthaulTopology.STAR)
+        return LinkParams(
+            carrier=NrCarrier(self.carrier_frequency_hz, self.bandwidth_hz,
+                              self.n_subcarriers),
+            hp_eirp_dbm=self.hp_eirp_dbm,
+            lp_eirp_dbm=self.lp_eirp_dbm,
+            hp_calibration_db=self.hp_calibration_db,
+            lp_calibration_db=self.lp_calibration_db,
+            repeater_noise_model=RepeaterNoiseModel(self.repeater_noise_model),
+            fronthaul=FronthaulParams(snr_at_1km_db=self.fronthaul_snr_at_1km_db,
+                                      topology=topology),
+        )
+
+    def traffic_params(self):
+        """Build :class:`repro.traffic.trains.TrafficParams`."""
+        from repro.traffic.trains import TrafficParams, Train
+        return TrafficParams(
+            trains_per_hour=self.trains_per_hour,
+            night_quiet_hours=self.night_quiet_hours,
+            train=Train(length_m=self.train_length_m, speed_kmh=self.train_speed_kmh),
+        )
+
+    def energy_params(self):
+        """Build :class:`repro.energy.duty.EnergyParams`."""
+        from repro.energy.duty import EnergyParams
+        return EnergyParams(traffic=self.traffic_params(),
+                            lp_section_m=self.lp_node_spacing_m)
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(asdict(self), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioConfig":
+        data = json.loads(text)
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(f"unknown config keys: {sorted(unknown)}")
+        return cls(**data)
+
+
+def save_config(config: ScenarioConfig, path: str | Path) -> Path:
+    """Write a scenario to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(config.to_json())
+    return path
+
+
+def load_config(path: str | Path) -> ScenarioConfig:
+    """Read a scenario from a JSON file."""
+    return ScenarioConfig.from_json(Path(path).read_text())

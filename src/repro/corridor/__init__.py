@@ -1,0 +1,22 @@
+"""Corridor geometry: tracks, layouts, deployment plans, validation.
+
+A *layout* is one HP-mast-to-HP-mast segment with its repeater field — the
+unit the capacity model evaluates.  A *deployment* tiles layouts along a whole
+corridor and is the unit the energy model normalizes per kilometre.
+"""
+
+from repro.corridor.geometry import CatenaryGrid, TrackSegment
+from repro.corridor.layout import CorridorLayout, donor_node_count
+from repro.corridor.deployment import CorridorDeployment, DeploymentKind
+from repro.corridor.validation import validate_layout, LayoutReport
+
+__all__ = [
+    "TrackSegment",
+    "CatenaryGrid",
+    "CorridorLayout",
+    "donor_node_count",
+    "CorridorDeployment",
+    "DeploymentKind",
+    "validate_layout",
+    "LayoutReport",
+]

@@ -1,0 +1,79 @@
+"""Corridor deployment plans: tiling layouts along a whole railway line.
+
+The energy results of the paper are normalized "per 1 km" of corridor; a
+deployment captures the repeating unit (one layout) and exposes per-kilometre
+equipment densities.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro import constants
+from repro.corridor.layout import CorridorLayout
+from repro.errors import GeometryError
+
+__all__ = ["DeploymentKind", "CorridorDeployment"]
+
+
+class DeploymentKind(enum.Enum):
+    """Deployment archetypes compared in the paper."""
+
+    CONVENTIONAL = "conventional"          # HP masts every 500 m, no repeaters
+    REPEATER_EXTENDED = "repeater_extended"  # fewer HP masts + LP repeater field
+
+
+@dataclass(frozen=True)
+class CorridorDeployment:
+    """A corridor built by repeating one segment layout.
+
+    Each HP mast is shared between the two adjacent segments, so per segment
+    of length ``isd_m`` the corridor owns exactly one mast (two RRHs), ``N``
+    service nodes and the layout's donor nodes.
+    """
+
+    layout: CorridorLayout
+    kind: DeploymentKind = DeploymentKind.REPEATER_EXTENDED
+
+    @classmethod
+    def conventional(cls, isd_m: float = constants.CONVENTIONAL_ISD_M) -> "CorridorDeployment":
+        """The paper's baseline: HP-only corridor at 500 m ISD."""
+        return cls(layout=CorridorLayout.conventional(isd_m), kind=DeploymentKind.CONVENTIONAL)
+
+    @classmethod
+    def with_repeaters(cls, isd_m: float, n_repeaters: int,
+                       spacing_m: float = constants.LP_NODE_SPACING_M) -> "CorridorDeployment":
+        """Repeater-extended corridor with the paper's centered geometry."""
+        layout = CorridorLayout.with_uniform_repeaters(isd_m, n_repeaters, spacing_m)
+        return cls(layout=layout, kind=DeploymentKind.REPEATER_EXTENDED)
+
+    # -- per-kilometre densities --------------------------------------------
+
+    @property
+    def masts_per_km(self) -> float:
+        return 1000.0 / self.layout.isd_m
+
+    @property
+    def rrhs_per_km(self) -> float:
+        return constants.RRH_PER_MAST * self.masts_per_km
+
+    @property
+    def service_nodes_per_km(self) -> float:
+        return self.layout.n_repeaters * self.masts_per_km
+
+    @property
+    def donor_nodes_per_km(self) -> float:
+        return self.layout.n_donor_nodes * self.masts_per_km
+
+    @property
+    def lp_nodes_per_km(self) -> float:
+        """All low-power nodes (service + donor) per kilometre."""
+        return self.service_nodes_per_km + self.donor_nodes_per_km
+
+    def segments_for_length(self, corridor_km: float) -> int:
+        """Number of whole segments needed to cover a corridor length."""
+        if corridor_km <= 0:
+            raise GeometryError(f"corridor length must be positive, got {corridor_km}")
+        import math
+        return math.ceil(corridor_km * 1000.0 / self.layout.isd_m)

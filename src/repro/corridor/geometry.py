@@ -1,0 +1,77 @@
+"""Basic track geometry primitives."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import constants
+from repro.errors import GeometryError
+
+__all__ = ["TrackSegment", "CatenaryGrid"]
+
+
+@dataclass(frozen=True)
+class TrackSegment:
+    """A straight stretch of railway track between two chainages [m]."""
+
+    start_m: float
+    end_m: float
+
+    def __post_init__(self) -> None:
+        if self.end_m <= self.start_m:
+            raise GeometryError(f"segment end {self.end_m} must exceed start {self.start_m}")
+
+    @property
+    def length_m(self) -> float:
+        return self.end_m - self.start_m
+
+    def contains(self, position_m: float) -> bool:
+        """Whether a chainage lies within the segment (inclusive)."""
+        return self.start_m <= position_m <= self.end_m
+
+    def overlap_m(self, other: "TrackSegment") -> float:
+        """Length of the overlap with another segment (0 when disjoint)."""
+        lo = max(self.start_m, other.start_m)
+        hi = min(self.end_m, other.end_m)
+        return max(0.0, hi - lo)
+
+
+@dataclass(frozen=True)
+class CatenaryGrid:
+    """The grid of existing catenary masts available for repeater mounting.
+
+    The paper notes masts are "generally available every 50 m"; repeaters must
+    be installed on one of them, so arbitrary positions need snapping.
+    """
+
+    spacing_m: float = constants.CATENARY_MAST_SPACING_M
+    offset_m: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.spacing_m <= 0:
+            raise GeometryError(f"mast spacing must be positive, got {self.spacing_m}")
+
+    def snap(self, position_m: float) -> float:
+        """Nearest mast position for an arbitrary chainage."""
+        k = round((position_m - self.offset_m) / self.spacing_m)
+        return self.offset_m + k * self.spacing_m
+
+    def snap_all(self, positions_m) -> np.ndarray:
+        """Vectorized :meth:`snap`."""
+        pos = np.asarray(positions_m, dtype=float)
+        k = np.round((pos - self.offset_m) / self.spacing_m)
+        return self.offset_m + k * self.spacing_m
+
+    def is_on_grid(self, position_m: float, tolerance_m: float = 1e-6) -> bool:
+        """Whether a chainage coincides with a mast."""
+        return abs(self.snap(position_m) - position_m) <= tolerance_m
+
+    def masts_in(self, segment: TrackSegment) -> np.ndarray:
+        """All mast positions inside a segment."""
+        first = np.ceil((segment.start_m - self.offset_m) / self.spacing_m)
+        last = np.floor((segment.end_m - self.offset_m) / self.spacing_m)
+        if last < first:
+            return np.empty(0)
+        return self.offset_m + np.arange(first, last + 1) * self.spacing_m

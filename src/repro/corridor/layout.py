@@ -1,0 +1,152 @@
+"""Corridor layout: one HP-to-HP segment with its repeater field.
+
+The paper's arrangement (Fig. 1): high-power masts at both ends of the
+segment, ``N`` low-power service nodes on catenary masts in between, spaced
+200 m apart and centered in the segment, plus donor nodes co-located with the
+HP masts (one donor for a single service node, two donors — one per mast —
+for two or more; Section V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import constants
+from repro.errors import GeometryError
+
+__all__ = ["CorridorLayout", "donor_node_count"]
+
+
+def donor_node_count(n_repeaters: int) -> int:
+    """Donor nodes required for a service-node count (paper Section V-A).
+
+    "an additional low-power repeater node as donor node is considered for one
+    service node and two low-power donor nodes are considered for two or more
+    service nodes"
+    """
+    if n_repeaters < 0:
+        raise GeometryError(f"repeater count must be >= 0, got {n_repeaters}")
+    if n_repeaters == 0:
+        return 0
+    if n_repeaters == 1:
+        return 1
+    return 2
+
+
+@dataclass(frozen=True)
+class CorridorLayout:
+    """One segment between two high-power masts, with repeaters in between.
+
+    Attributes
+    ----------
+    isd_m:
+        Inter-site distance between the two HP masts (segment length).
+    repeater_positions_m:
+        Chainages of the LP service nodes, strictly inside ``(0, isd_m)``.
+    """
+
+    isd_m: float
+    repeater_positions_m: tuple[float, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.isd_m <= 0:
+            raise GeometryError(f"ISD must be positive, got {self.isd_m}")
+        pos = tuple(float(p) for p in self.repeater_positions_m)
+        if any(p <= 0.0 or p >= self.isd_m for p in pos):
+            raise GeometryError(
+                f"repeater positions {pos} must lie strictly inside (0, {self.isd_m})")
+        if len(set(pos)) != len(pos):
+            raise GeometryError(f"repeater positions {pos} contain duplicates")
+        if list(pos) != sorted(pos):
+            raise GeometryError("repeater positions must be sorted ascending")
+        object.__setattr__(self, "repeater_positions_m", pos)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def conventional(cls, isd_m: float = constants.CONVENTIONAL_ISD_M) -> "CorridorLayout":
+        """A conventional segment: HP masts only, no repeaters."""
+        return cls(isd_m=isd_m)
+
+    @classmethod
+    def with_uniform_repeaters(cls, isd_m: float, n_repeaters: int,
+                               spacing_m: float = constants.LP_NODE_SPACING_M) -> "CorridorLayout":
+        """The paper's geometry: ``n`` nodes at fixed spacing, centered.
+
+        The repeater field spans ``(n - 1) * spacing`` and is centered between
+        the HP masts, leaving equal gaps on both sides.
+        """
+        if n_repeaters < 0:
+            raise GeometryError(f"repeater count must be >= 0, got {n_repeaters}")
+        if n_repeaters == 0:
+            return cls(isd_m=isd_m)
+        if spacing_m <= 0:
+            raise GeometryError(f"spacing must be positive, got {spacing_m}")
+        span = (n_repeaters - 1) * spacing_m
+        gap = (isd_m - span) / 2.0
+        if gap <= 0:
+            raise GeometryError(
+                f"{n_repeaters} nodes at {spacing_m} m spacing do not fit in ISD {isd_m}")
+        positions = tuple(gap + k * spacing_m for k in range(n_repeaters))
+        return cls(isd_m=isd_m, repeater_positions_m=positions)
+
+    @classmethod
+    def with_equally_divided_repeaters(cls, isd_m: float, n_repeaters: int) -> "CorridorLayout":
+        """Alternative geometry: nodes dividing the ISD into N+1 equal gaps."""
+        if n_repeaters < 0:
+            raise GeometryError(f"repeater count must be >= 0, got {n_repeaters}")
+        gap = isd_m / (n_repeaters + 1)
+        positions = tuple(gap * (k + 1) for k in range(n_repeaters))
+        return cls(isd_m=isd_m, repeater_positions_m=positions)
+
+    # -- derived properties --------------------------------------------------
+
+    @property
+    def n_repeaters(self) -> int:
+        return len(self.repeater_positions_m)
+
+    @property
+    def n_donor_nodes(self) -> int:
+        """Donor nodes this segment needs (paper's counting rule)."""
+        return donor_node_count(self.n_repeaters)
+
+    @property
+    def edge_gap_m(self) -> float:
+        """Distance from an HP mast to the nearest repeater (ISD when none)."""
+        if not self.repeater_positions_m:
+            return self.isd_m
+        first = self.repeater_positions_m[0]
+        last = self.repeater_positions_m[-1]
+        return min(first, self.isd_m - last)
+
+    @property
+    def repeater_span_m(self) -> float:
+        """Extent of the repeater field (0 for zero or one node)."""
+        if self.n_repeaters < 2:
+            return 0.0
+        return self.repeater_positions_m[-1] - self.repeater_positions_m[0]
+
+    def repeater_sections(self, section_m: float = constants.LP_NODE_SPACING_M) -> list[tuple[float, float]]:
+        """Coverage section (start, end) of each repeater for duty accounting.
+
+        The paper's energy model attributes a 200 m coverage section (the node
+        spacing) to each repeater.
+        """
+        half = section_m / 2.0
+        return [(p - half, p + half) for p in self.repeater_positions_m]
+
+    def min_repeater_spacing_m(self) -> float:
+        """Smallest gap between adjacent repeaters (inf for < 2 nodes)."""
+        if self.n_repeaters < 2:
+            return float("inf")
+        return float(np.min(np.diff(self.repeater_positions_m)))
+
+    def scaled_to(self, isd_m: float) -> "CorridorLayout":
+        """Same relative geometry stretched onto a different ISD."""
+        factor = isd_m / self.isd_m
+        return CorridorLayout(
+            isd_m=isd_m,
+            repeater_positions_m=tuple(p * factor for p in self.repeater_positions_m),
+        )

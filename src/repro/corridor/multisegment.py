@@ -1,0 +1,118 @@
+"""Heterogeneous corridors: different segment types along one line.
+
+Real lines are not uniform: station approaches keep the dense conventional
+layout (trains are slow, dwell, and cluster there), while open high-speed
+track uses the repeater-extended segments.  A :class:`LinePlan` strings
+typed sections together and aggregates capacity checks and energy across
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.corridor.layout import CorridorLayout
+from repro.energy.duty import EnergyParams
+from repro.energy.scenario import OperatingMode, segment_energy
+from repro.errors import ConfigurationError, GeometryError
+
+__all__ = ["LineSection", "LinePlan"]
+
+
+@dataclass(frozen=True)
+class LineSection:
+    """A stretch of line covered by repetitions of one segment layout."""
+
+    name: str
+    layout: CorridorLayout
+    length_km: float
+    mode: OperatingMode = OperatingMode.SLEEP
+
+    def __post_init__(self) -> None:
+        if self.length_km <= 0:
+            raise GeometryError(f"{self.name}: section length must be positive")
+
+    @property
+    def n_segments(self) -> int:
+        import math
+        return math.ceil(self.length_km * 1000.0 / self.layout.isd_m)
+
+    def average_power_w(self, params: EnergyParams | None = None) -> float:
+        """Average mains power of the whole section."""
+        per_km = segment_energy(self.layout, self.mode, params).w_per_km
+        return per_km * self.length_km
+
+
+@dataclass(frozen=True)
+class LinePlan:
+    """A whole line as an ordered list of sections."""
+
+    sections: tuple[LineSection, ...]
+
+    def __post_init__(self) -> None:
+        if not self.sections:
+            raise ConfigurationError("a line plan needs at least one section")
+        names = [s.name for s in self.sections]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate section names: {names}")
+
+    @property
+    def length_km(self) -> float:
+        return sum(s.length_km for s in self.sections)
+
+    def total_average_power_w(self, params: EnergyParams | None = None) -> float:
+        return sum(s.average_power_w(params) for s in self.sections)
+
+    def average_w_per_km(self, params: EnergyParams | None = None) -> float:
+        return self.total_average_power_w(params) / self.length_km
+
+    def annual_energy_mwh(self, params: EnergyParams | None = None) -> float:
+        return self.total_average_power_w(params) * 24 * 365 / 1e6
+
+    def equipment_counts(self) -> dict[str, int]:
+        """HP masts and LP nodes over the whole line."""
+        masts = 0
+        service = 0
+        donors = 0
+        for section in self.sections:
+            n = section.n_segments
+            masts += n
+            service += n * section.layout.n_repeaters
+            donors += n * section.layout.n_donor_nodes
+        return {"hp_masts": masts, "service_nodes": service, "donor_nodes": donors}
+
+    def savings_vs_conventional(self, params: EnergyParams | None = None) -> float:
+        """Energy saving of this plan vs. an all-conventional line (0..1)."""
+        conventional = LinePlan(sections=tuple(
+            LineSection(name=f"conv/{s.name}", layout=CorridorLayout.conventional(),
+                        length_km=s.length_km)
+            for s in self.sections))
+        ours = self.total_average_power_w(params)
+        ref = conventional.total_average_power_w(params)
+        return 1.0 - ours / ref
+
+    @classmethod
+    def mixed_line(cls, open_track_km: float, station_zones: int,
+                   station_zone_km: float = 2.0,
+                   n_repeaters: int = 10,
+                   open_isd_m: float = 2650.0) -> "LinePlan":
+        """Convenience builder: station zones (conventional) + open track.
+
+        The open track is split evenly around the station zones.
+        """
+        if station_zones < 0:
+            raise ConfigurationError(f"station zones must be >= 0, got {station_zones}")
+        if open_track_km <= 0:
+            raise GeometryError(f"open track length must be positive")
+        sections: list[LineSection] = []
+        n_open_parts = station_zones + 1
+        open_part_km = open_track_km / n_open_parts
+        open_layout = CorridorLayout.with_uniform_repeaters(open_isd_m, n_repeaters)
+        for i in range(n_open_parts):
+            sections.append(LineSection(
+                name=f"open/{i}", layout=open_layout, length_km=open_part_km))
+            if i < station_zones:
+                sections.append(LineSection(
+                    name=f"station/{i}", layout=CorridorLayout.conventional(),
+                    length_km=station_zone_km))
+        return cls(sections=tuple(sections))

@@ -1,0 +1,86 @@
+"""Layout validation: installability and regulatory sanity checks.
+
+Checks a layout against the practical constraints the paper mentions:
+
+* repeaters must sit on (or near) existing catenary masts (50 m grid),
+* EIRP limits: the whole point of short ISDs in EMF-constrained countries is
+  that sites may not simply raise power — the validator flags EIRP above the
+  scenario's assumed limits,
+* geometric sanity (spacing, segment bounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import constants
+from repro.corridor.geometry import CatenaryGrid
+from repro.corridor.layout import CorridorLayout
+
+__all__ = ["LayoutReport", "validate_layout"]
+
+#: Maximum assumed EIRP for the high-power antennas (the paper's 64 dBm).
+MAX_HP_EIRP_DBM = constants.HP_EIRP_DBM
+#: Maximum assumed EIRP for the low-power repeaters (the paper's 40 dBm).
+MAX_LP_EIRP_DBM = constants.LP_EIRP_DBM
+
+
+@dataclass(frozen=True)
+class LayoutReport:
+    """Outcome of :func:`validate_layout`."""
+
+    ok: bool
+    issues: tuple[str, ...] = field(default_factory=tuple)
+    off_grid_positions_m: tuple[float, ...] = field(default_factory=tuple)
+
+    def __bool__(self) -> bool:  # truthiness == validity
+        return self.ok
+
+
+def validate_layout(layout: CorridorLayout,
+                    grid: CatenaryGrid | None = None,
+                    grid_tolerance_m: float = 25.0,
+                    min_spacing_m: float = 50.0,
+                    hp_eirp_dbm: float = constants.HP_EIRP_DBM,
+                    lp_eirp_dbm: float = constants.LP_EIRP_DBM) -> LayoutReport:
+    """Check a layout for installability.
+
+    Parameters
+    ----------
+    grid:
+        Catenary mast grid; defaults to the paper's 50 m grid.  Repeaters
+        farther than ``grid_tolerance_m`` from a mast are flagged (a tolerance
+        of half the grid spacing means "always mountable on the nearest mast").
+    min_spacing_m:
+        Minimum allowed distance between adjacent repeaters.
+    """
+    grid = grid or CatenaryGrid()
+    issues: list[str] = []
+    off_grid: list[float] = []
+
+    for pos in layout.repeater_positions_m:
+        offset = abs(grid.snap(pos) - pos)
+        if offset > grid_tolerance_m:
+            off_grid.append(pos)
+            issues.append(
+                f"repeater at {pos:.1f} m is {offset:.1f} m from the nearest catenary mast "
+                f"(tolerance {grid_tolerance_m:.1f} m)")
+
+    if layout.min_repeater_spacing_m() < min_spacing_m:
+        issues.append(
+            f"adjacent repeaters closer than {min_spacing_m:.0f} m "
+            f"({layout.min_repeater_spacing_m():.1f} m)")
+
+    if hp_eirp_dbm > MAX_HP_EIRP_DBM:
+        issues.append(
+            f"HP EIRP {hp_eirp_dbm:.1f} dBm exceeds the scenario limit {MAX_HP_EIRP_DBM:.1f} dBm")
+    if lp_eirp_dbm > MAX_LP_EIRP_DBM:
+        issues.append(
+            f"LP EIRP {lp_eirp_dbm:.1f} dBm exceeds the scenario limit {MAX_LP_EIRP_DBM:.1f} dBm")
+
+    if layout.n_repeaters and layout.edge_gap_m < min_spacing_m:
+        issues.append(
+            f"repeater within {layout.edge_gap_m:.1f} m of an HP mast (< {min_spacing_m:.0f} m)")
+
+    return LayoutReport(ok=not issues, issues=tuple(issues),
+                        off_grid_positions_m=tuple(off_grid))

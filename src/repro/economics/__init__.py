@@ -1,0 +1,22 @@
+"""Deployment economics — the sustainability argument in currency.
+
+The paper argues energy; an operator decides on total cost.  This package
+prices the two deployments (conventional HP-only corridor vs. the
+repeater-extended corridor) over a planning horizon: equipment and
+installation CAPEX, energy and maintenance OPEX, and the payback period of
+the repeater retrofit.
+"""
+
+from repro.economics.costmodel import (
+    CostAssumptions,
+    DeploymentCost,
+    corridor_cost,
+    retrofit_payback_years,
+)
+
+__all__ = [
+    "CostAssumptions",
+    "DeploymentCost",
+    "corridor_cost",
+    "retrofit_payback_years",
+]

@@ -1,0 +1,153 @@
+"""Cost model for corridor deployments.
+
+Default prices are representative European figures (EUR), deliberately
+conservative toward the conventional deployment; they are inputs, not
+results — every experiment exposes them for sensitivity analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.corridor.deployment import CorridorDeployment
+from repro.energy.duty import EnergyParams
+from repro.energy.scenario import OperatingMode, segment_energy
+from repro.errors import ConfigurationError
+
+__all__ = ["CostAssumptions", "DeploymentCost", "corridor_cost", "retrofit_payback_years"]
+
+
+@dataclass(frozen=True)
+class CostAssumptions:
+    """Unit costs of corridor equipment and operation [EUR]."""
+
+    hp_site_capex: float = 120_000.0        # mast, 2 RRH, antennas, fiber tail
+    repeater_capex: float = 8_000.0         # LP node incl. install on catenary mast
+    donor_capex: float = 10_000.0           # donor node at the HP mast
+    pv_system_capex: float = 2_500.0        # modules + battery + controller
+    fiber_capex_per_km: float = 30_000.0    # trenching/fiber along the corridor
+    energy_price_per_kwh: float = 0.25
+    hp_maintenance_per_year: float = 3_000.0   # per HP site
+    lp_maintenance_per_year: float = 200.0     # per LP node
+    discount_rate: float = 0.0                 # simple totals by default
+
+    def __post_init__(self) -> None:
+        for name in ("hp_site_capex", "repeater_capex", "donor_capex",
+                     "pv_system_capex", "fiber_capex_per_km",
+                     "energy_price_per_kwh", "hp_maintenance_per_year",
+                     "lp_maintenance_per_year"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+        if not 0.0 <= self.discount_rate < 1.0:
+            raise ConfigurationError(
+                f"discount rate must be in [0, 1), got {self.discount_rate}")
+
+
+@dataclass(frozen=True)
+class DeploymentCost:
+    """Cost breakdown of one corridor deployment over a horizon."""
+
+    corridor_km: float
+    horizon_years: float
+    capex: float
+    energy_opex: float
+    maintenance_opex: float
+
+    @property
+    def opex(self) -> float:
+        return self.energy_opex + self.maintenance_opex
+
+    @property
+    def total(self) -> float:
+        return self.capex + self.opex
+
+    @property
+    def per_km_per_year(self) -> float:
+        return self.total / self.corridor_km / self.horizon_years
+
+
+def _discounted_yearly(amount_per_year: float, years: float, rate: float) -> float:
+    """Sum of a constant yearly amount, optionally discounted."""
+    if rate == 0.0:
+        return amount_per_year * years
+    whole = int(years)
+    total = sum(amount_per_year / (1.0 + rate) ** (y + 1) for y in range(whole))
+    total += (years - whole) * amount_per_year / (1.0 + rate) ** (whole + 1)
+    return total
+
+
+def corridor_cost(deployment: CorridorDeployment,
+                  mode: OperatingMode = OperatingMode.SLEEP,
+                  corridor_km: float = 100.0,
+                  horizon_years: float = 10.0,
+                  assumptions: CostAssumptions | None = None,
+                  energy_params: EnergyParams | None = None,
+                  solar_powered_lp: bool | None = None) -> DeploymentCost:
+    """Total cost of a corridor deployment over a planning horizon.
+
+    ``solar_powered_lp`` defaults from the operating mode: SOLAR buys PV
+    systems instead of paying LP mains energy.
+    """
+    if corridor_km <= 0 or horizon_years <= 0:
+        raise ConfigurationError("corridor length and horizon must be positive")
+    assumptions = assumptions or CostAssumptions()
+    solar = mode is OperatingMode.SOLAR if solar_powered_lp is None else solar_powered_lp
+
+    n_segments = deployment.segments_for_length(corridor_km)
+    layout = deployment.layout
+    n_service = n_segments * layout.n_repeaters
+    n_donor = n_segments * layout.n_donor_nodes
+
+    capex = (n_segments * assumptions.hp_site_capex
+             + n_service * assumptions.repeater_capex
+             + n_donor * assumptions.donor_capex
+             + corridor_km * assumptions.fiber_capex_per_km)
+    if solar:
+        capex += (n_service + n_donor) * assumptions.pv_system_capex
+
+    energy = segment_energy(layout, mode, energy_params)
+    kwh_per_year = energy.w_per_km * corridor_km * 24 * 365 / 1000.0
+    energy_opex = _discounted_yearly(kwh_per_year * assumptions.energy_price_per_kwh,
+                                     horizon_years, assumptions.discount_rate)
+
+    maintenance_per_year = (n_segments * assumptions.hp_maintenance_per_year
+                            + (n_service + n_donor) * assumptions.lp_maintenance_per_year)
+    maintenance_opex = _discounted_yearly(maintenance_per_year, horizon_years,
+                                          assumptions.discount_rate)
+
+    return DeploymentCost(corridor_km=corridor_km, horizon_years=horizon_years,
+                          capex=capex, energy_opex=energy_opex,
+                          maintenance_opex=maintenance_opex)
+
+
+def retrofit_payback_years(proposed: CorridorDeployment,
+                           mode: OperatingMode = OperatingMode.SLEEP,
+                           corridor_km: float = 100.0,
+                           assumptions: CostAssumptions | None = None,
+                           energy_params: EnergyParams | None = None,
+                           max_years: float = 100.0) -> float:
+    """Years until the repeater deployment's savings repay its extra CAPEX.
+
+    Compares against the conventional corridor; both sides pay their own
+    maintenance and energy.  Returns ``inf`` when the proposal never pays
+    back within ``max_years`` (e.g. when it costs more to run).
+    """
+    assumptions = assumptions or CostAssumptions()
+    conventional = CorridorDeployment.conventional()
+
+    def yearly_opex(dep: CorridorDeployment, m: OperatingMode) -> float:
+        cost = corridor_cost(dep, m, corridor_km, 1.0, assumptions, energy_params)
+        return cost.opex
+
+    def capex(dep: CorridorDeployment, m: OperatingMode) -> float:
+        return corridor_cost(dep, m, corridor_km, 1.0, assumptions, energy_params).capex
+
+    extra_capex = capex(proposed, mode) - capex(conventional, OperatingMode.SLEEP)
+    yearly_saving = (yearly_opex(conventional, OperatingMode.SLEEP)
+                     - yearly_opex(proposed, mode))
+    if extra_capex <= 0:
+        return 0.0
+    if yearly_saving <= 0:
+        return float("inf")
+    payback = extra_capex / yearly_saving
+    return payback if payback <= max_years else float("inf")

@@ -1,0 +1,123 @@
+"""Far-field EMF exposure around corridor transmitters.
+
+Free-space far-field power density of an antenna with a given EIRP:
+
+    S(d) = EIRP / (4 pi d^2)           [W/m²]
+
+and the equivalent plane-wave field strength ``E = sqrt(S * Z0)`` with
+``Z0 = 377 Ohm``.  Limits are expressed either as power density (ICNIRP) or
+field strength (the national installation limits of the strict countries the
+paper lists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import constants
+from repro.errors import ConfigurationError
+from repro.units import dbm_to_w
+
+__all__ = [
+    "EmfLimit",
+    "ICNIRP_GENERAL_PUBLIC",
+    "STRICT_INSTALLATION_LIMITS",
+    "power_density_w_m2",
+    "field_strength_v_m",
+    "compliance_distance_m",
+    "node_compliance",
+]
+
+_FREE_SPACE_IMPEDANCE_OHM = 376.73
+
+
+def power_density_w_m2(eirp_dbm: float, distance_m) -> np.ndarray | float:
+    """Far-field power density at a distance from an EIRP source."""
+    d = np.maximum(np.asarray(distance_m, dtype=float), 0.01)
+    s = dbm_to_w(eirp_dbm) / (4.0 * np.pi * d**2)
+    return float(s) if np.ndim(distance_m) == 0 else s
+
+
+def field_strength_v_m(eirp_dbm: float, distance_m) -> np.ndarray | float:
+    """Equivalent plane-wave field strength at a distance [V/m]."""
+    s = power_density_w_m2(eirp_dbm, distance_m)
+    e = np.sqrt(np.asarray(s) * _FREE_SPACE_IMPEDANCE_OHM)
+    return float(e) if np.ndim(distance_m) == 0 else e
+
+
+@dataclass(frozen=True)
+class EmfLimit:
+    """An exposure limit, as power density and/or field strength."""
+
+    name: str
+    power_density_w_m2: float | None = None
+    field_strength_v_m: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.power_density_w_m2 is None and self.field_strength_v_m is None:
+            raise ConfigurationError(f"{self.name}: need at least one limit value")
+        if self.power_density_w_m2 is not None and self.power_density_w_m2 <= 0:
+            raise ConfigurationError(f"{self.name}: power density limit must be positive")
+        if self.field_strength_v_m is not None and self.field_strength_v_m <= 0:
+            raise ConfigurationError(f"{self.name}: field strength limit must be positive")
+
+    def equivalent_power_density_w_m2(self) -> float:
+        """The limit expressed as power density (the stricter when both given)."""
+        candidates = []
+        if self.power_density_w_m2 is not None:
+            candidates.append(self.power_density_w_m2)
+        if self.field_strength_v_m is not None:
+            candidates.append(self.field_strength_v_m**2 / _FREE_SPACE_IMPEDANCE_OHM)
+        return min(candidates)
+
+
+#: ICNIRP 2020 general-public reference level above 2 GHz: 10 W/m².
+ICNIRP_GENERAL_PUBLIC = EmfLimit("ICNIRP general public", power_density_w_m2=10.0)
+
+#: Installation limits of the strict countries the paper names (values for
+#: sensitive-use locations; Switzerland ONIR 6 V/m for sub-6 GHz 5G, Italy
+#: 6 V/m attention value, Poland historically 7 V/m equivalent).
+STRICT_INSTALLATION_LIMITS: dict[str, EmfLimit] = {
+    "switzerland": EmfLimit("Switzerland ONIR", field_strength_v_m=6.0),
+    "italy": EmfLimit("Italy attention value", field_strength_v_m=6.0),
+    "poland": EmfLimit("Poland (pre-2020)", power_density_w_m2=0.1),
+}
+
+
+def compliance_distance_m(eirp_dbm: float, limit: EmfLimit) -> float:
+    """Distance beyond which exposure falls below the limit.
+
+        S(d) <= S_lim  ->  d >= sqrt(EIRP / (4 pi S_lim))
+    """
+    s_lim = limit.equivalent_power_density_w_m2()
+    return float(np.sqrt(dbm_to_w(eirp_dbm) / (4.0 * np.pi * s_lim)))
+
+
+@dataclass(frozen=True)
+class NodeCompliance:
+    """Compliance distances of one transmitter against a set of limits."""
+
+    eirp_dbm: float
+    distances_m: dict[str, float]
+
+    def worst_case_m(self) -> float:
+        return max(self.distances_m.values())
+
+
+def node_compliance(eirp_dbm: float,
+                    limits: dict[str, EmfLimit] | None = None) -> NodeCompliance:
+    """Compliance distances for a transmitter under each regulatory regime.
+
+    Defaults to ICNIRP plus the strict national limits.  The corridor story
+    in numbers: a 64 dBm HP antenna needs tens of metres of clearance under
+    the strict limits (hence masts *beside* the track and EMF-driven ISD
+    limits), while the 40 dBm repeater complies within a few metres —
+    mountable on any catenary mast.
+    """
+    if limits is None:
+        limits = {"icnirp": ICNIRP_GENERAL_PUBLIC, **STRICT_INSTALLATION_LIMITS}
+    distances = {name: compliance_distance_m(eirp_dbm, limit)
+                 for name, limit in limits.items()}
+    return NodeCompliance(eirp_dbm=eirp_dbm, distances_m=distances)

@@ -1,0 +1,92 @@
+"""Segment-level energy accounting for the three operating policies of Fig. 4."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.corridor.layout import CorridorLayout
+from repro.energy.duty import (
+    EnergyParams,
+    donor_average_power_w,
+    hp_mast_average_power_w,
+    lp_node_average_power_w,
+)
+
+__all__ = ["OperatingMode", "SegmentEnergy", "segment_energy"]
+
+
+class OperatingMode(enum.Enum):
+    """The three policies compared in Fig. 4.
+
+    In every mode the HP RRHs use their sleep mode between trains ("always
+    using energy-saving techniques", Fig. 4 caption); the modes differ in how
+    the low-power repeater nodes are operated and powered.
+    """
+
+    CONTINUOUS = "continuous"   # repeaters always awake (full load / no load)
+    SLEEP = "sleep"             # repeaters sleep between trains
+    SOLAR = "solar"             # repeaters sleep AND are powered off-grid
+
+
+@dataclass(frozen=True)
+class SegmentEnergy:
+    """Average mains power of one ISD segment, split by equipment class.
+
+    All values are 24 h averages in watts.  ``service_w`` and ``donor_w`` are
+    zero *mains* watts in SOLAR mode although the nodes still consume their
+    sleep-mode average from the PV system (``offgrid_w`` reports it).
+    """
+
+    layout: CorridorLayout
+    mode: OperatingMode
+    hp_w: float
+    service_w: float
+    donor_w: float
+    offgrid_w: float = 0.0
+
+    @property
+    def total_mains_w(self) -> float:
+        """Average mains power of the segment."""
+        return self.hp_w + self.service_w + self.donor_w
+
+    @property
+    def w_per_km(self) -> float:
+        """Mains power normalized per kilometre of corridor.
+
+        Equals the average energy consumption in Wh per hour per km — the
+        quantity Fig. 4 plots.
+        """
+        return self.total_mains_w / (self.layout.isd_m / 1000.0)
+
+    @property
+    def wh_per_day_per_km(self) -> float:
+        return self.w_per_km * 24.0
+
+    @property
+    def kwh_per_year_per_km(self) -> float:
+        return self.w_per_km * 24.0 * 365.0 / 1000.0
+
+
+def segment_energy(layout: CorridorLayout,
+                   mode: OperatingMode = OperatingMode.SLEEP,
+                   params: EnergyParams | None = None) -> SegmentEnergy:
+    """Average power of one segment under an operating policy.
+
+    One segment owns one HP mast (each mast is shared by two segments, and
+    each segment has two mast-halves), its service nodes and donor nodes.
+    """
+    params = params or EnergyParams()
+    hp_w = hp_mast_average_power_w(layout.isd_m, params, sleeping=True)
+
+    sleeping = mode is not OperatingMode.CONTINUOUS
+    service_each = lp_node_average_power_w(params, sleeping=sleeping)
+    service_w = layout.n_repeaters * service_each
+    donor_w = donor_average_power_w(layout, params, sleeping=sleeping)
+
+    if mode is OperatingMode.SOLAR:
+        return SegmentEnergy(layout=layout, mode=mode, hp_w=hp_w,
+                             service_w=0.0, donor_w=0.0,
+                             offgrid_w=service_w + donor_w)
+    return SegmentEnergy(layout=layout, mode=mode, hp_w=hp_w,
+                         service_w=service_w, donor_w=donor_w)

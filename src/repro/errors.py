@@ -1,0 +1,36 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class.  Input validation raises the specific subclasses below
+instead of bare ``ValueError`` where the error concerns domain semantics.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "GeometryError",
+    "InfeasibleError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A scenario or model parameter is invalid or inconsistent."""
+
+
+class GeometryError(ReproError, ValueError):
+    """A corridor layout is geometrically impossible (overlaps, out of range)."""
+
+
+class InfeasibleError(ReproError):
+    """An optimization found no feasible solution under the given constraints."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulation reached an inconsistent state."""

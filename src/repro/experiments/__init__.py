@@ -1,0 +1,29 @@
+"""Experiment runners — one per table/figure of the paper.
+
+Each module exposes ``run(...)`` returning a structured result with
+``.table()`` (human-readable) and ``.series()`` (CSV-able columns).  The
+:mod:`repro.experiments.runner` drives them all and is what the CLI and
+EXPERIMENTS.md generation use.
+"""
+
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.maxisd import run_maxisd
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.runner import ALL_EXPERIMENTS, run_all, run_experiment
+
+__all__ = [
+    "run_fig3",
+    "run_fig4",
+    "run_maxisd",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "ALL_EXPERIMENTS",
+    "run_all",
+    "run_experiment",
+]

@@ -1,0 +1,143 @@
+"""Ablation experiments — design-choice studies beyond the paper's figures.
+
+* noise-model ablation: how the max-ISD list changes between the literal
+  Eq. (2) repeater-noise term and the amplify-and-forward fronthaul models,
+* placement ablation: centered 200 m spacing vs. equal division vs. optimized
+  placement,
+* sleep ablation: energy effect of wake latency and detection lead in the
+  event-driven simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import constants
+from repro.corridor.layout import CorridorLayout
+from repro.energy.scenario import OperatingMode
+from repro.optimize.placement import optimize_placement
+from repro.radio.link import LinkParams, compute_snr_profile
+from repro.radio.noise import RepeaterNoiseModel
+from repro.reporting.tables import format_table
+from repro.simulation.corridor_sim import CorridorSimulation
+from repro.optimize.isd import sweep_max_isd
+
+__all__ = [
+    "NoiseAblationResult",
+    "run_noise_ablation",
+    "PlacementAblationResult",
+    "run_placement_ablation",
+    "SleepAblationResult",
+    "run_sleep_ablation",
+]
+
+
+# --- noise-model ablation ------------------------------------------------------
+
+@dataclass(frozen=True)
+class NoiseAblationResult:
+    lists: dict[str, list[float]]
+
+    def series(self) -> dict[str, list]:
+        out: dict[str, list] = {"n_repeaters": list(range(1, 11))}
+        out.update({name: values for name, values in self.lists.items()})
+        out["paper"] = list(constants.PAPER_MAX_ISD_M)
+        return out
+
+    def table(self) -> str:
+        headers = ["N"] + list(self.lists) + ["paper"]
+        rows = []
+        for i in range(10):
+            row = [i + 1] + [self.lists[k][i] for k in self.lists]
+            row.append(constants.PAPER_MAX_ISD_M[i])
+            rows.append(row)
+        return format_table(headers, rows, title="Ablation: repeater-noise models")
+
+
+def run_noise_ablation(n_max: int = 10, resolution_m: float = 2.0,
+                       isd_step_m: float = 50.0) -> NoiseAblationResult:
+    """Max-ISD list under each repeater-noise model."""
+    lists = {}
+    for model in (RepeaterNoiseModel.PAPER, RepeaterNoiseModel.FRONTHAUL_STAR,
+                  RepeaterNoiseModel.FRONTHAUL_CHAIN):
+        link = LinkParams(repeater_noise_model=model)
+        sweep = sweep_max_isd(n_max=n_max, link=link, include_zero=False,
+                              resolution_m=resolution_m, isd_step_m=isd_step_m)
+        lists[model.value] = sweep.as_list()
+    return NoiseAblationResult(lists=lists)
+
+
+# --- placement ablation ----------------------------------------------------------
+
+@dataclass(frozen=True)
+class PlacementAblationResult:
+    isd_m: float
+    n_repeaters: int
+    centered_min_snr_db: float
+    equal_division_min_snr_db: float
+    optimized_min_snr_db: float
+    optimized_positions_m: tuple[float, ...]
+
+    def table(self) -> str:
+        rows = [
+            ["centered 200 m (paper)", self.centered_min_snr_db],
+            ["equal division", self.equal_division_min_snr_db],
+            ["grid-optimized", self.optimized_min_snr_db],
+        ]
+        return format_table(["placement", "min SNR [dB]"], rows,
+                            title=f"Ablation: placement at ISD {self.isd_m:.0f} m, N={self.n_repeaters}")
+
+    def series(self) -> dict[str, list]:
+        return {
+            "placement": ["centered", "equal_division", "optimized"],
+            "min_snr_db": [self.centered_min_snr_db, self.equal_division_min_snr_db,
+                           self.optimized_min_snr_db],
+        }
+
+
+def run_placement_ablation(isd_m: float = 2400.0, n_repeaters: int = 8,
+                           link: LinkParams | None = None,
+                           resolution_m: float = 2.0) -> PlacementAblationResult:
+    """Compare repeater placement strategies by worst-case SNR."""
+    link = link or LinkParams()
+    centered = CorridorLayout.with_uniform_repeaters(isd_m, n_repeaters)
+    equal = CorridorLayout.with_equally_divided_repeaters(isd_m, n_repeaters)
+    opt = optimize_placement(isd_m, n_repeaters, link=link, resolution_m=resolution_m)
+    return PlacementAblationResult(
+        isd_m=isd_m,
+        n_repeaters=n_repeaters,
+        centered_min_snr_db=compute_snr_profile(centered, link, resolution_m).min_snr_db,
+        equal_division_min_snr_db=compute_snr_profile(equal, link, resolution_m).min_snr_db,
+        optimized_min_snr_db=opt.min_snr_db,
+        optimized_positions_m=opt.layout.repeater_positions_m,
+    )
+
+
+# --- sleep/wake-latency ablation ---------------------------------------------------
+
+@dataclass(frozen=True)
+class SleepAblationResult:
+    transitions_s: tuple[float, ...]
+    w_per_km: tuple[float, ...]
+
+    def table(self) -> str:
+        rows = [[t, w] for t, w in zip(self.transitions_s, self.w_per_km)]
+        return format_table(["transition [s]", "avg power [W/km]"], rows,
+                            title="Ablation: wake-transition time (DES, sleep mode)")
+
+    def series(self) -> dict[str, list]:
+        return {"transition_s": list(self.transitions_s),
+                "w_per_km": list(self.w_per_km)}
+
+
+def run_sleep_ablation(isd_m: float = 2650.0, n_repeaters: int = 10,
+                       transitions_s=(0.0, 0.3, 1.0, 2.0, 5.0)) -> SleepAblationResult:
+    """Energy sensitivity to the sleep/active transition time."""
+    layout = CorridorLayout.with_uniform_repeaters(isd_m, n_repeaters)
+    results = []
+    for t in transitions_s:
+        sim = CorridorSimulation(layout, mode=OperatingMode.SLEEP, transition_s=t,
+                                 wake_lead_m=max(50.0, t * 60.0))
+        results.append(sim.run().avg_w_per_km)
+    return SleepAblationResult(transitions_s=tuple(transitions_s),
+                               w_per_km=tuple(results))

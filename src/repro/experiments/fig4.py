@@ -1,0 +1,66 @@
+"""Fig. 4 — average energy consumption per km for the three policies.
+
+Bars: conventional corridor (left) and N = 1..10 repeater deployments at
+their maximum ISDs, each under continuous / sleep / solar repeater operation.
+The headline numbers checked against the text: savings of 57 % (N=1, sleep),
+74 % (N=10, sleep), 59 %/79 % solar, and the >50 % threshold from N=3 with
+continuously powered repeaters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import constants
+from repro.energy.analysis import Fig4Row, fig4_rows
+from repro.energy.duty import EnergyParams
+from repro.reporting.tables import format_table
+
+__all__ = ["Fig4Result", "run_fig4"]
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    """All Fig. 4 bars plus the conventional reference."""
+
+    rows: list[Fig4Row]
+    isd_source: str
+
+    def series(self) -> dict[str, list]:
+        return {
+            "n_repeaters": [r.n_repeaters for r in self.rows],
+            "isd_m": [r.isd_m for r in self.rows],
+            "continuous_w_per_km": [r.continuous_w_per_km for r in self.rows],
+            "sleep_w_per_km": [r.sleep_w_per_km for r in self.rows],
+            "solar_w_per_km": [r.solar_w_per_km for r in self.rows],
+            "continuous_savings_pct": [100 * r.continuous_savings for r in self.rows],
+            "sleep_savings_pct": [100 * r.sleep_savings for r in self.rows],
+            "solar_savings_pct": [100 * r.solar_savings for r in self.rows],
+        }
+
+    def table(self) -> str:
+        rows = [[r.n_repeaters, r.isd_m,
+                 r.continuous_w_per_km, 100 * r.continuous_savings,
+                 r.sleep_w_per_km, 100 * r.sleep_savings,
+                 r.solar_w_per_km, 100 * r.solar_savings]
+                for r in self.rows]
+        return format_table(
+            ["N", "ISD [m]", "cont [W/km]", "cont sav %",
+             "sleep [W/km]", "sleep sav %", "solar [W/km]", "solar sav %"],
+            rows,
+            title=f"Fig. 4: average energy per km ({self.isd_source} ISDs)")
+
+    def row_for(self, n_repeaters: int) -> Fig4Row:
+        for row in self.rows:
+            if row.n_repeaters == n_repeaters:
+                return row
+        raise KeyError(f"no row for N = {n_repeaters}")
+
+
+def run_fig4(isd_by_n: dict[int, float] | None = None,
+             params: EnergyParams | None = None) -> Fig4Result:
+    """Compute Fig. 4.  Defaults to the paper's registered ISD list; pass a
+    model-derived mapping (e.g. from :func:`repro.optimize.sweep_max_isd`) to
+    regenerate the figure end-to-end from the capacity model."""
+    source = "paper-registered" if isd_by_n is None else "model-derived"
+    return Fig4Result(rows=fig4_rows(isd_by_n, params), isd_source=source)

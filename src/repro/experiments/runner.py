@@ -1,0 +1,89 @@
+"""Experiment registry and batch runner (used by the CLI and EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.experiments.ablations import (
+    run_noise_ablation,
+    run_placement_ablation,
+    run_sleep_ablation,
+)
+from repro.experiments.extensions import (
+    run_cell_border,
+    run_demand,
+    run_economics,
+    run_emf,
+    run_lifetime,
+    run_robustness,
+    run_traversal,
+    run_uplink,
+)
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.maxisd import run_maxisd
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.reporting.series import write_csv
+
+__all__ = ["ALL_EXPERIMENTS", "run_experiment", "run_all"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Registry entry: id, description, and a zero-argument runner."""
+
+    experiment_id: str
+    description: str
+    runner: Callable[[], object]
+
+
+ALL_EXPERIMENTS: dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec for spec in (
+        ExperimentSpec("fig3", "Signal/noise profile, d_ISD=2400 m, N=8", run_fig3),
+        ExperimentSpec("maxisd", "Registered maximum ISDs for N=1..10", run_maxisd),
+        ExperimentSpec("fig4", "Average energy per km, three policies", run_fig4),
+        ExperimentSpec("table1", "Repeater component power breakdown", run_table1),
+        ExperimentSpec("table2", "EARTH power-model parameters", run_table2),
+        ExperimentSpec("table3", "Traffic scenario and duty cycles", run_table3),
+        ExperimentSpec("table4", "Off-grid PV dimensioning, four regions", run_table4),
+        ExperimentSpec("abl-noise", "Ablation: repeater-noise models", run_noise_ablation),
+        ExperimentSpec("abl-place", "Ablation: repeater placement", run_placement_ablation),
+        ExperimentSpec("abl-sleep", "Ablation: wake-transition time", run_sleep_ablation),
+        ExperimentSpec("ext-emf", "Extension: EMF compliance distances", run_emf),
+        ExperimentSpec("ext-uplink", "Extension: uplink closure at max ISDs", run_uplink),
+        ExperimentSpec("ext-traversal", "Extension: per-traversal data volume", run_traversal),
+        ExperimentSpec("ext-econ", "Extension: 10-year cost comparison", run_economics),
+        ExperimentSpec("ext-robust", "Extension: shadowing outage", run_robustness),
+        ExperimentSpec("ext-lifetime", "Extension: PV system aging", run_lifetime),
+        ExperimentSpec("ext-demand", "Extension: demand-driven load", run_demand),
+        ExperimentSpec("ext-border", "Extension: BBU cell-border SINR", run_cell_border),
+    )
+}
+
+
+def run_experiment(experiment_id: str, output_dir: str | Path | None = None):
+    """Run one experiment; optionally dump its CSV series to ``output_dir``.
+
+    Returns the experiment's structured result object.
+    """
+    spec = ALL_EXPERIMENTS.get(experiment_id)
+    if spec is None:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(ALL_EXPERIMENTS)}")
+    result = spec.runner()
+    if output_dir is not None and hasattr(result, "series"):
+        write_csv(Path(output_dir) / f"{experiment_id}.csv", result.series())
+    return result
+
+
+def run_all(output_dir: str | Path | None = None,
+            ids=None) -> dict[str, object]:
+    """Run every registered experiment (or a subset) and collect results."""
+    ids = list(ALL_EXPERIMENTS) if ids is None else list(ids)
+    return {eid: run_experiment(eid, output_dir) for eid in ids}

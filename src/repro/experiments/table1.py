@@ -1,0 +1,63 @@
+"""Table I — low-power repeater node power consumption breakdown."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import constants
+from repro.power.components import ComponentMode, RepeaterBill, repeater_prototype_bill
+from repro.reporting.tables import format_table
+
+__all__ = ["Table1Result", "run_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """Component bill with the reconciled totals."""
+
+    bill: RepeaterBill
+
+    @property
+    def sleep_w(self) -> float:
+        return self.bill.sleep_w()
+
+    @property
+    def no_load_w(self) -> float:
+        return self.bill.no_load_w()
+
+    @property
+    def full_load_tdd_w(self) -> float:
+        return self.bill.full_load_tdd_w()
+
+    @property
+    def full_load_simultaneous_w(self) -> float:
+        return self.bill.full_load_simultaneous_w()
+
+    def series(self) -> dict[str, list]:
+        comps = self.bill.components
+        return {
+            "component": [c.name for c in comps],
+            "mode": [c.mode.value for c in comps],
+            "count": [c.count for c in comps],
+            "active_w": [c.active_w for c in comps],
+            "idle_w": [c.idle_w for c in comps],
+            "sleep_w": [c.sleep_w for c in comps],
+        }
+
+    def table(self) -> str:
+        rows = [[c.name, c.mode.value, c.count, c.active_w, c.idle_w, c.sleep_w]
+                for c in self.bill.components]
+        rows.append(["TOTAL sleep", "", "", "", "", self.sleep_w])
+        rows.append(["TOTAL no-load (P0)", "", "", "", self.no_load_w, ""])
+        rows.append(["TOTAL full load (TDD)", "", "", self.full_load_tdd_w, "", ""])
+        rows.append(["TOTAL full (all paths)", "", "", self.full_load_simultaneous_w, "", ""])
+        rows.append(["paper full-load figure", "", "",
+                     constants.LP_REPEATER_FULL_LOAD_W, "", ""])
+        return format_table(
+            ["component", "mode", "count", "active [W]", "idle [W]", "sleep [W]"],
+            rows, title="Table I: repeater node power breakdown")
+
+
+def run_table1() -> Table1Result:
+    """Build the prototype's bill of materials and totals."""
+    return Table1Result(bill=repeater_prototype_bill())

@@ -1,0 +1,69 @@
+"""Table II — EARTH power-model parameters and derived site powers.
+
+Checks the Section III-B site figures: a two-sector high-power mast draws
+560 W at full load, 336 W at no load, 224 W asleep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import constants
+from repro.power.earth_model import PowerState
+from repro.power.profiles import HP_RRH_PROFILE, LP_REPEATER_PROFILE, PowerProfile, hp_site_power_w
+from repro.reporting.tables import format_table
+
+__all__ = ["Table2Result", "run_table2"]
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """Model parameters plus derived per-unit and per-site powers."""
+
+    profiles: tuple[PowerProfile, ...]
+
+    def series(self) -> dict[str, list]:
+        return {
+            "node_type": [p.name for p in self.profiles],
+            "p_max_w": [p.model.p_max_w for p in self.profiles],
+            "p0_w": [p.model.p0_w for p in self.profiles],
+            "delta_p": [p.model.delta_p for p in self.profiles],
+            "p_sleep_w": [p.model.p_sleep_w for p in self.profiles],
+            "full_load_w": [p.model.full_load_w for p in self.profiles],
+        }
+
+    def table(self) -> str:
+        rows = [[p.name, p.model.p_max_w, p.model.p0_w, p.model.delta_p,
+                 p.model.p_sleep_w, p.model.full_load_w]
+                for p in self.profiles]
+        rows.append(["HP site (2 RRH) full", "", "", "",
+                     "", hp_site_power_w(PowerState.FULL_LOAD)])
+        rows.append(["HP site (2 RRH) no load", "", "", "",
+                     "", hp_site_power_w(PowerState.NO_LOAD)])
+        rows.append(["HP site (2 RRH) sleep", "", "", "",
+                     "", hp_site_power_w(PowerState.SLEEP)])
+        return format_table(
+            ["node type", "Pmax [W]", "P0 [W]", "dp", "Psleep [W]", "full [W]"],
+            rows, title="Table II: power model parameters")
+
+    @property
+    def hp_site_full_w(self) -> float:
+        return hp_site_power_w(PowerState.FULL_LOAD)
+
+    @property
+    def hp_site_no_load_w(self) -> float:
+        return hp_site_power_w(PowerState.NO_LOAD)
+
+    @property
+    def hp_site_sleep_w(self) -> float:
+        return hp_site_power_w(PowerState.SLEEP)
+
+    @property
+    def repeater_energy_share_of_site(self) -> float:
+        """The abstract's "repeaters consume only 5 % of a regular cell site"."""
+        return constants.LP_REPEATER_FULL_LOAD_W / self.hp_site_full_w
+
+
+def run_table2() -> Table2Result:
+    """Assemble the Table II profiles."""
+    return Table2Result(profiles=(HP_RRH_PROFILE, LP_REPEATER_PROFILE))

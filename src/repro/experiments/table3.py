@@ -1,0 +1,88 @@
+"""Table III — energy-scenario parameters and the duty cycles they imply.
+
+Verifies the in-text derived quantities: 16-55 s of full load per train,
+2.85 % / 9.66 % full-load fractions at 500 / 2650 m ISD, the sleeping
+repeater's 5.17 W (124.1 Wh/day) average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import constants
+from repro.energy.duty import EnergyParams, lp_node_average_power_w
+from repro.reporting.tables import format_table
+from repro.traffic.occupancy import duty_cycle, full_load_seconds_per_train
+from repro.traffic.trains import TrafficParams
+
+__all__ = ["Table3Result", "run_table3"]
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    """Scenario parameters plus all derived duty quantities."""
+
+    traffic: TrafficParams
+    energy: EnergyParams
+
+    @property
+    def full_load_s_at_500m(self) -> float:
+        return full_load_seconds_per_train(500.0, self.traffic)
+
+    @property
+    def full_load_s_at_2650m(self) -> float:
+        return full_load_seconds_per_train(2650.0, self.traffic)
+
+    @property
+    def duty_at_500m(self) -> float:
+        return duty_cycle(500.0, self.traffic)
+
+    @property
+    def duty_at_2650m(self) -> float:
+        return duty_cycle(2650.0, self.traffic)
+
+    @property
+    def lp_sleeping_avg_w(self) -> float:
+        return lp_node_average_power_w(self.energy, sleeping=True)
+
+    @property
+    def lp_sleeping_wh_per_day(self) -> float:
+        return self.lp_sleeping_avg_w * 24.0
+
+    def series(self) -> dict[str, list]:
+        isds = [500.0, 1000.0, 1500.0, 2000.0, 2650.0]
+        return {
+            "isd_m": isds,
+            "full_load_s_per_train": [full_load_seconds_per_train(i, self.traffic) for i in isds],
+            "duty_pct": [100 * duty_cycle(i, self.traffic) for i in isds],
+        }
+
+    def table(self) -> str:
+        rows = [
+            ["trains per hour", self.traffic.trains_per_hour],
+            ["night quiet hours", self.traffic.night_quiet_hours],
+            ["train length [m]", self.traffic.train.length_m],
+            ["train speed [km/h]", self.traffic.train.speed_kmh],
+            ["LP node spacing [m]", self.energy.lp_section_m],
+            ["full load per train @500 m [s]", self.full_load_s_at_500m],
+            ["full load per train @2650 m [s]", self.full_load_s_at_2650m],
+            ["duty @500 m [%]", 100 * self.duty_at_500m],
+            ["duty @2650 m [%]", 100 * self.duty_at_2650m],
+            ["LP sleeping average [W]", self.lp_sleeping_avg_w],
+            ["LP sleeping [Wh/day]", self.lp_sleeping_wh_per_day],
+            ["HP site full load [W]", constants.HP_SITE_FULL_LOAD_W],
+            ["HP site sleep [W]", constants.HP_SITE_SLEEP_W],
+            ["LP full load [W]", constants.LP_REPEATER_FULL_LOAD_W],
+            ["LP no load [W]", constants.LP_REPEATER_P0_W],
+            ["LP sleep [W]", constants.LP_REPEATER_PSLEEP_W],
+        ]
+        return format_table(["parameter", "value"], rows,
+                            title="Table III: scenario parameters and derived duty cycles")
+
+
+def run_table3(traffic: TrafficParams | None = None,
+               energy: EnergyParams | None = None) -> Table3Result:
+    """Assemble the Table III scenario and its derived quantities."""
+    traffic = traffic or TrafficParams()
+    energy = energy or EnergyParams(traffic=traffic)
+    return Table3Result(traffic=traffic, energy=energy)

@@ -1,0 +1,22 @@
+"""Optimization layer: the paper's max-ISD search plus extensions.
+
+* :mod:`repro.optimize.isd` — for each repeater count, the maximum inter-site
+  distance that still sustains peak 5G NR throughput everywhere (Section V).
+* :mod:`repro.optimize.placement` — repeater placement refinement (extension).
+* :mod:`repro.optimize.pareto` — energy-vs-capacity trade-off curves
+  (extension).
+"""
+
+from repro.optimize.isd import IsdSweepResult, max_isd_for_n, sweep_max_isd
+from repro.optimize.placement import PlacementResult, optimize_placement
+from repro.optimize.pareto import ParetoPoint, energy_capacity_frontier
+
+__all__ = [
+    "max_isd_for_n",
+    "sweep_max_isd",
+    "IsdSweepResult",
+    "optimize_placement",
+    "PlacementResult",
+    "energy_capacity_frontier",
+    "ParetoPoint",
+]

@@ -1,0 +1,83 @@
+"""Energy-vs-capacity trade-off frontier (extension beyond the paper).
+
+The paper fixes the capacity constraint at "peak throughput everywhere" and
+minimizes energy.  This module generalizes: for a grid of ISDs and repeater
+counts it computes (average energy per km, worst-case throughput) pairs and
+extracts the Pareto-efficient set, showing how much energy a relaxed capacity
+target would buy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import constants
+from repro.capacity.shannon import TruncatedShannonModel
+from repro.capacity.throughput import throughput_profile
+from repro.corridor.layout import CorridorLayout
+from repro.energy.duty import EnergyParams
+from repro.energy.scenario import OperatingMode, segment_energy
+from repro.errors import ConfigurationError
+from repro.radio.link import LinkParams, compute_snr_profile
+
+__all__ = ["ParetoPoint", "energy_capacity_frontier"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One deployment on (or off) the energy-capacity frontier."""
+
+    n_repeaters: int
+    isd_m: float
+    w_per_km: float
+    min_throughput_mbps: float
+    mean_throughput_mbps: float
+    efficient: bool
+
+
+def energy_capacity_frontier(n_values=range(0, 11),
+                             isd_values_m=None,
+                             mode: OperatingMode = OperatingMode.SLEEP,
+                             link: LinkParams | None = None,
+                             capacity: TruncatedShannonModel | None = None,
+                             energy: EnergyParams | None = None,
+                             spacing_m: float = constants.LP_NODE_SPACING_M,
+                             resolution_m: float = 2.0) -> list[ParetoPoint]:
+    """Evaluate an (N, ISD) grid and mark the Pareto-efficient points.
+
+    A point is efficient when no other point has both lower energy per km and
+    higher worst-case throughput.
+    """
+    link = link or LinkParams()
+    capacity = capacity or TruncatedShannonModel()
+    energy = energy or EnergyParams()
+    if isd_values_m is None:
+        isd_values_m = np.arange(500.0, 3001.0, 250.0)
+
+    points: list[tuple[int, float, float, float, float]] = []
+    for n in n_values:
+        if n < 0:
+            raise ConfigurationError(f"repeater count must be >= 0, got {n}")
+        for isd in isd_values_m:
+            span = spacing_m * max(0, n - 1)
+            if isd <= span + 100.0:
+                continue
+            layout = CorridorLayout.with_uniform_repeaters(float(isd), n, spacing_m)
+            snr = compute_snr_profile(layout, link, resolution_m=resolution_m)
+            thr = throughput_profile(snr, capacity)
+            e = segment_energy(layout, mode, energy)
+            points.append((n, float(isd), e.w_per_km,
+                           thr.min_bps / 1e6, thr.mean_bps / 1e6))
+
+    results: list[ParetoPoint] = []
+    for i, (n, isd, w, mn, mean) in enumerate(points):
+        dominated = any(
+            (w2 < w - 1e-9 and mn2 >= mn - 1e-9) or (w2 <= w + 1e-9 and mn2 > mn + 1e-9)
+            for j, (_, _, w2, mn2, _) in enumerate(points) if j != i
+        )
+        results.append(ParetoPoint(n_repeaters=n, isd_m=isd, w_per_km=w,
+                                   min_throughput_mbps=mn, mean_throughput_mbps=mean,
+                                   efficient=not dominated))
+    return results

@@ -1,0 +1,35 @@
+"""Power-consumption substrate.
+
+* :mod:`repro.power.earth_model` — the EARTH parameterized model (Eq. 3),
+* :mod:`repro.power.components` — the Table I component-level breakdown of the
+  low-power repeater prototype,
+* :mod:`repro.power.profiles` — named Table II parameter sets and mast-level
+  aggregation.
+"""
+
+from repro.power.earth_model import EarthPowerModel, PowerState
+from repro.power.components import (
+    Component,
+    ComponentMode,
+    RepeaterBill,
+    repeater_prototype_bill,
+)
+from repro.power.profiles import (
+    HP_RRH_PROFILE,
+    LP_REPEATER_PROFILE,
+    hp_site_power_w,
+    PowerProfile,
+)
+
+__all__ = [
+    "EarthPowerModel",
+    "PowerState",
+    "Component",
+    "ComponentMode",
+    "RepeaterBill",
+    "repeater_prototype_bill",
+    "PowerProfile",
+    "HP_RRH_PROFILE",
+    "LP_REPEATER_PROFILE",
+    "hp_site_power_w",
+]

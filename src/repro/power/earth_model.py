@@ -1,0 +1,108 @@
+"""EARTH parameterized power model — Eq. (3) of the paper.
+
+    P_in = P0 + Delta_p * P_max * chi   for 0 < chi <= 1
+         = P_sleep                      for chi = 0 (sleep mode)
+
+``chi`` is the traffic load as a fraction of the maximum possible load;
+``P_max`` is the maximum RF output power.  Developed in the EU FP7 EARTH
+project (refs. [12], [20]); load-fraction refinement per ref. [13].
+
+Note the model's deliberate discontinuity at ``chi = 0``: zero load with the
+unit *awake* is ``P0`` (evaluate with ``chi -> 0`` via :meth:`no_load_w` or
+``input_power_w(0.0, sleeping=False)``), while ``chi = 0`` *asleep* is
+``P_sleep``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PowerState", "EarthPowerModel"]
+
+
+class PowerState(enum.Enum):
+    """Operating states of a radio unit in the corridor."""
+
+    FULL_LOAD = "full_load"   # chi = 1, a train is being served
+    NO_LOAD = "no_load"       # awake but idle (chi -> 0)
+    SLEEP = "sleep"           # sleep mode
+
+
+@dataclass(frozen=True)
+class EarthPowerModel:
+    """One radio unit's EARTH power parameters (a Table II row)."""
+
+    p_max_w: float
+    p0_w: float
+    delta_p: float
+    p_sleep_w: float
+
+    def __post_init__(self) -> None:
+        if self.p_max_w <= 0:
+            raise ConfigurationError(f"P_max must be positive, got {self.p_max_w}")
+        if self.p0_w <= 0:
+            raise ConfigurationError(f"P0 must be positive, got {self.p0_w}")
+        if self.delta_p <= 0:
+            raise ConfigurationError(f"Delta_p must be positive, got {self.delta_p}")
+        if not 0 <= self.p_sleep_w <= self.p0_w:
+            raise ConfigurationError(
+                f"P_sleep {self.p_sleep_w} must lie in [0, P0={self.p0_w}]")
+
+    def input_power_w(self, load, sleeping: bool = False):
+        """Consumed input power for a load fraction ``chi`` in [0, 1].
+
+        With ``sleeping=True`` the load must be 0 and ``P_sleep`` is returned.
+        Accepts scalar or array loads.
+        """
+        chi = np.asarray(load, dtype=float)
+        if np.any(chi < 0) or np.any(chi > 1):
+            raise ConfigurationError(f"load must be within [0, 1], got {load!r}")
+        if sleeping:
+            if np.any(chi > 0):
+                raise ConfigurationError("a sleeping unit cannot carry load")
+            out = np.full_like(chi, self.p_sleep_w)
+            return float(out) if np.ndim(load) == 0 else out
+        out = self.p0_w + self.delta_p * self.p_max_w * chi
+        return float(out) if np.ndim(load) == 0 else out
+
+    def state_power_w(self, state: PowerState) -> float:
+        """Power for one of the three canonical operating states."""
+        if state is PowerState.FULL_LOAD:
+            return self.full_load_w
+        if state is PowerState.NO_LOAD:
+            return self.no_load_w
+        return self.p_sleep_w
+
+    @property
+    def full_load_w(self) -> float:
+        """Power at chi = 1."""
+        return self.p0_w + self.delta_p * self.p_max_w
+
+    @property
+    def no_load_w(self) -> float:
+        """Power awake at vanishing load (the model's chi -> 0 limit)."""
+        return self.p0_w
+
+    def average_power_w(self, full_load_fraction: float,
+                        sleep_fraction: float = 0.0) -> float:
+        """Time-averaged power given full-load and sleep time fractions.
+
+        The remaining time fraction is spent awake at no load.  This is the
+        paper's Section V-A accounting: a unit is either serving a passing
+        train at full load, asleep, or idling.
+        """
+        if not 0 <= full_load_fraction <= 1:
+            raise ConfigurationError(f"full-load fraction must be in [0,1], got {full_load_fraction}")
+        if not 0 <= sleep_fraction <= 1:
+            raise ConfigurationError(f"sleep fraction must be in [0,1], got {sleep_fraction}")
+        if full_load_fraction + sleep_fraction > 1.0 + 1e-12:
+            raise ConfigurationError("full-load and sleep fractions exceed 100 % of time")
+        idle_fraction = 1.0 - full_load_fraction - sleep_fraction
+        return (full_load_fraction * self.full_load_w
+                + idle_fraction * self.no_load_w
+                + sleep_fraction * self.p_sleep_w)

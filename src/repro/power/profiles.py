@@ -1,0 +1,60 @@
+"""Named power profiles (Table II) and mast-level aggregation.
+
+Table II of the paper:
+
+    Node type           P_max [W]  P0 [W]  Delta_p  P_sleep [W]
+    High-power RRH      40         168     2.8      112
+    Low-power repeater  1          24.26   4.0      4.72
+
+A high-power *site* (mast) carries two RRHs, giving the Section III-B site
+figures: 560 W full load, 336 W no load, 224 W sleep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import constants
+from repro.errors import ConfigurationError
+from repro.power.earth_model import EarthPowerModel, PowerState
+
+__all__ = ["PowerProfile", "HP_RRH_PROFILE", "LP_REPEATER_PROFILE", "hp_site_power_w"]
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """An EARTH model with a human-readable identity."""
+
+    name: str
+    model: EarthPowerModel
+
+    def state_power_w(self, state: PowerState) -> float:
+        return self.model.state_power_w(state)
+
+
+HP_RRH_PROFILE = PowerProfile(
+    name="High-Power RRH",
+    model=EarthPowerModel(
+        p_max_w=constants.HP_RRH_PMAX_W,
+        p0_w=constants.HP_RRH_P0_W,
+        delta_p=constants.HP_RRH_DELTA_P,
+        p_sleep_w=constants.HP_RRH_PSLEEP_W,
+    ),
+)
+
+LP_REPEATER_PROFILE = PowerProfile(
+    name="Low-Power Repeater",
+    model=EarthPowerModel(
+        p_max_w=constants.LP_REPEATER_PMAX_W,
+        p0_w=constants.LP_REPEATER_P0_W,
+        delta_p=constants.LP_REPEATER_DELTA_P,
+        p_sleep_w=constants.LP_REPEATER_PSLEEP_W,
+    ),
+)
+
+
+def hp_site_power_w(state: PowerState, rrh_per_mast: int = constants.RRH_PER_MAST) -> float:
+    """Power of a whole high-power mast (both RRHs) in a given state."""
+    if rrh_per_mast < 1:
+        raise ConfigurationError(f"a mast needs at least one RRH, got {rrh_per_mast}")
+    return rrh_per_mast * HP_RRH_PROFILE.state_power_w(state)

@@ -1,0 +1,49 @@
+"""Radio propagation substrate.
+
+Implements the paper's calibrated Friis port-to-port attenuation (Eq. 1) plus
+the supporting propagation models the corridor system depends on: generic
+path-loss laws, train-wagon penetration loss, the mmWave donor fronthaul link
+budget, and log-normal shadowing for Monte-Carlo extensions.
+"""
+
+from repro.propagation.friis import (
+    CalibratedFriis,
+    free_space_path_loss_db,
+    friis_constant_db,
+)
+from repro.propagation.pathloss import (
+    DualSlopeModel,
+    FreeSpaceModel,
+    LogDistanceModel,
+    PathLossModel,
+)
+from repro.propagation.penetration import (
+    PenetrationLoss,
+    WINDOW_PRESETS,
+    WagonWindowType,
+    effective_calibration_db,
+)
+from repro.propagation.fronthaul import (
+    FronthaulBudget,
+    FronthaulParams,
+    FronthaulTopology,
+)
+from repro.propagation.fading import LogNormalShadowing
+
+__all__ = [
+    "CalibratedFriis",
+    "free_space_path_loss_db",
+    "friis_constant_db",
+    "PathLossModel",
+    "FreeSpaceModel",
+    "LogDistanceModel",
+    "DualSlopeModel",
+    "PenetrationLoss",
+    "WagonWindowType",
+    "WINDOW_PRESETS",
+    "effective_calibration_db",
+    "FronthaulParams",
+    "FronthaulTopology",
+    "FronthaulBudget",
+    "LogNormalShadowing",
+]

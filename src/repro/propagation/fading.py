@@ -1,0 +1,61 @@
+"""Large-scale fading for Monte-Carlo robustness studies.
+
+The paper's evaluation is deterministic.  As an extension, the library can
+overlay spatially correlated log-normal shadowing on the RSRP profiles to ask
+how robust an ISD choice is to shadowing — see
+``benchmarks/bench_ablation_noise.py`` and ``repro.optimize.isd``'s
+``shadowing_margin_db`` parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LogNormalShadowing"]
+
+
+@dataclass(frozen=True)
+class LogNormalShadowing:
+    """Spatially correlated log-normal shadowing (Gudmundson model).
+
+    Parameters
+    ----------
+    sigma_db:
+        Standard deviation of the shadowing in dB (0 disables it).
+    decorrelation_m:
+        Distance at which the autocorrelation drops to 1/e.
+    """
+
+    sigma_db: float = 4.0
+    decorrelation_m: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.sigma_db < 0:
+            raise ConfigurationError(f"sigma must be >= 0 dB, got {self.sigma_db}")
+        if self.decorrelation_m <= 0:
+            raise ConfigurationError(f"decorrelation distance must be positive, got {self.decorrelation_m}")
+
+    def sample(self, positions_m: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Draw one correlated shadowing trace (dB) over ordered positions.
+
+        Uses the exact AR(1) discretization of the exponential autocorrelation
+        so irregular position grids are handled correctly.
+        """
+        pos = np.asarray(positions_m, dtype=float)
+        if pos.ndim != 1 or pos.size == 0:
+            raise ConfigurationError("positions must be a non-empty 1-D array")
+        if np.any(np.diff(pos) < 0):
+            raise ConfigurationError("positions must be sorted ascending")
+        if self.sigma_db == 0.0:
+            return np.zeros_like(pos)
+        out = np.empty_like(pos)
+        out[0] = rng.normal(0.0, self.sigma_db)
+        for i in range(1, pos.size):
+            rho = float(np.exp(-(pos[i] - pos[i - 1]) / self.decorrelation_m))
+            innovation = self.sigma_db * np.sqrt(max(0.0, 1.0 - rho * rho))
+            out[i] = rho * out[i - 1] + rng.normal(0.0, innovation)
+        return out

@@ -1,0 +1,97 @@
+"""Generic path-loss model family.
+
+The paper uses a calibrated Friis law (exponent 2).  For sensitivity studies
+and for environments where the corridor geometry deviates from free space
+(cuttings, tunnels, vegetation) the library also offers log-distance and
+dual-slope laws behind one small protocol so the link layer can swap models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.propagation.friis import free_space_path_loss_db, friis_constant_db
+
+__all__ = ["PathLossModel", "FreeSpaceModel", "LogDistanceModel", "DualSlopeModel"]
+
+
+@runtime_checkable
+class PathLossModel(Protocol):
+    """Anything that maps a distance (m) to a path loss (dB)."""
+
+    def path_loss_db(self, distance_m):  # pragma: no cover - protocol signature
+        """Return path loss in dB for scalar or array distances."""
+        ...
+
+
+@dataclass(frozen=True)
+class FreeSpaceModel:
+    """Plain Friis free-space loss (exponent 2)."""
+
+    frequency_hz: float
+
+    def path_loss_db(self, distance_m):
+        return free_space_path_loss_db(distance_m, self.frequency_hz)
+
+
+@dataclass(frozen=True)
+class LogDistanceModel:
+    """Log-distance law ``PL(d) = PL(d0) + 10 n log10(d / d0)``.
+
+    ``reference_loss_db`` defaults to the free-space loss at ``reference_m``
+    when left as ``None``.
+    """
+
+    frequency_hz: float
+    exponent: float = 2.0
+    reference_m: float = 1.0
+    reference_loss_db: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.exponent <= 0:
+            raise ConfigurationError(f"path-loss exponent must be positive, got {self.exponent}")
+        if self.reference_m <= 0:
+            raise ConfigurationError(f"reference distance must be positive, got {self.reference_m}")
+
+    def _pl0(self) -> float:
+        if self.reference_loss_db is not None:
+            return self.reference_loss_db
+        return friis_constant_db(self.frequency_hz) + 20.0 * np.log10(self.reference_m)
+
+    def path_loss_db(self, distance_m):
+        d = np.maximum(np.asarray(distance_m, dtype=float), self.reference_m)
+        out = self._pl0() + 10.0 * self.exponent * np.log10(d / self.reference_m)
+        return float(out) if np.ndim(distance_m) == 0 else out
+
+
+@dataclass(frozen=True)
+class DualSlopeModel:
+    """Two-slope law with a breakpoint, common for elevated line-of-sight links.
+
+    Below ``breakpoint_m`` the loss follows ``exponent_near``; beyond it the
+    slope steepens to ``exponent_far`` while staying continuous.
+    """
+
+    frequency_hz: float
+    breakpoint_m: float
+    exponent_near: float = 2.0
+    exponent_far: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.breakpoint_m <= 0:
+            raise ConfigurationError(f"breakpoint must be positive, got {self.breakpoint_m}")
+        if self.exponent_near <= 0 or self.exponent_far <= 0:
+            raise ConfigurationError("path-loss exponents must be positive")
+
+    def path_loss_db(self, distance_m):
+        d = np.maximum(np.asarray(distance_m, dtype=float), 1.0)
+        near = LogDistanceModel(self.frequency_hz, self.exponent_near)
+        loss_at_bp = near.path_loss_db(self.breakpoint_m)
+        below = near.path_loss_db(d)
+        above = loss_at_bp + 10.0 * self.exponent_far * np.log10(np.maximum(d, self.breakpoint_m) / self.breakpoint_m)
+        out = np.where(d <= self.breakpoint_m, below, above)
+        return float(out) if np.ndim(distance_m) == 0 else out

@@ -1,0 +1,24 @@
+"""Radio layer: NR carrier accounting, node descriptions, noise, SNR profiles.
+
+This package turns a corridor layout into the Eq. (2) SNR profile along the
+track: per-subcarrier transmit powers (RSTP) from EIRP, calibrated attenuation
+per node class, noise aggregation (terminal + repeater) and the resulting SNR.
+"""
+
+from repro.radio.carrier import NrCarrier, rstp_dbm_from_eirp
+from repro.radio.nodes import DonorNode, HighPowerSite, RepeaterNode
+from repro.radio.noise import RepeaterNoiseModel, thermal_noise_dbm
+from repro.radio.link import LinkParams, SnrProfile, compute_snr_profile
+
+__all__ = [
+    "NrCarrier",
+    "rstp_dbm_from_eirp",
+    "HighPowerSite",
+    "RepeaterNode",
+    "DonorNode",
+    "RepeaterNoiseModel",
+    "thermal_noise_dbm",
+    "LinkParams",
+    "SnrProfile",
+    "compute_snr_profile",
+]

@@ -1,0 +1,66 @@
+"""5G NR carrier description and per-subcarrier power accounting.
+
+The paper computes everything per subcarrier: "the overall signal power must
+be divided by the number of subcarriers to obtain the RSTP or RSRP", for a
+100 MHz carrier with 3300 subcarriers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import constants
+from repro.errors import ConfigurationError
+
+__all__ = ["NrCarrier", "rstp_dbm_from_eirp"]
+
+
+def rstp_dbm_from_eirp(eirp_dbm: float, n_subcarriers: int) -> float:
+    """Reference-signal transmit power per subcarrier from total EIRP."""
+    if n_subcarriers <= 0:
+        raise ConfigurationError(f"subcarrier count must be positive, got {n_subcarriers}")
+    return eirp_dbm - 10.0 * np.log10(n_subcarriers)
+
+
+@dataclass(frozen=True)
+class NrCarrier:
+    """A 5G NR carrier as used in the paper's capacity model.
+
+    Attributes
+    ----------
+    frequency_hz:
+        Center frequency of the (sub-6 GHz) service carrier.
+    bandwidth_hz:
+        Occupied bandwidth used to scale spectral efficiency to throughput.
+    n_subcarriers:
+        Number of subcarriers total power is divided across.
+    """
+
+    frequency_hz: float = constants.DEFAULT_CARRIER_FREQUENCY_HZ
+    bandwidth_hz: float = constants.NR_CARRIER_BANDWIDTH_HZ
+    n_subcarriers: int = constants.NR_SUBCARRIER_COUNT
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ConfigurationError(f"frequency must be positive, got {self.frequency_hz}")
+        if self.bandwidth_hz <= 0:
+            raise ConfigurationError(f"bandwidth must be positive, got {self.bandwidth_hz}")
+        if self.n_subcarriers <= 0:
+            raise ConfigurationError(f"subcarrier count must be positive, got {self.n_subcarriers}")
+        if self.bandwidth_hz > self.frequency_hz:
+            raise ConfigurationError("bandwidth cannot exceed the carrier frequency")
+
+    @property
+    def subcarrier_spacing_hz(self) -> float:
+        """Implied subcarrier spacing (bandwidth / count)."""
+        return self.bandwidth_hz / self.n_subcarriers
+
+    def rstp_dbm(self, eirp_dbm: float) -> float:
+        """Per-subcarrier RSTP for a node transmitting with ``eirp_dbm``."""
+        return rstp_dbm_from_eirp(eirp_dbm, self.n_subcarriers)
+
+    def throughput_bps(self, spectral_efficiency_bps_hz) -> float:
+        """Scale a spectral efficiency to carrier throughput in bit/s."""
+        return spectral_efficiency_bps_hz * self.bandwidth_hz

@@ -1,0 +1,213 @@
+"""SNR profile along the railway track — Eq. (2) of the paper.
+
+Given a corridor layout (two high-power sites ``d_ISD`` apart plus N low-power
+repeater nodes in between) this module computes, for every track position:
+
+* the RSRP of each individual source (Fig. 3's blue/orange/yellow curves),
+* the total signal power (Eq. 2 numerator),
+* the total noise power (Eq. 2 denominator) under the selected repeater-noise
+  model, and
+* the SNR.
+
+All computations are vectorized over track positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import constants
+from repro.errors import ConfigurationError, GeometryError
+from repro.propagation.friis import CalibratedFriis
+from repro.propagation.fronthaul import FronthaulBudget, FronthaulParams
+from repro.radio.carrier import NrCarrier
+from repro.radio.noise import RepeaterNoiseModel, thermal_noise_dbm
+
+__all__ = ["LinkParams", "SnrProfile", "compute_snr_profile"]
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    """Everything Eq. (1) and Eq. (2) need.
+
+    Defaults are the paper's published constants; see DESIGN.md for the
+    provenance of each value.
+    """
+
+    carrier: NrCarrier = field(default_factory=NrCarrier)
+    hp_eirp_dbm: float = constants.HP_EIRP_DBM
+    lp_eirp_dbm: float = constants.LP_EIRP_DBM
+    hp_calibration_db: float = constants.HP_CALIBRATION_DB
+    lp_calibration_db: float = constants.LP_CALIBRATION_DB
+    noise_floor_rsrp_dbm: float = constants.NOISE_FLOOR_RSRP_DBM
+    terminal_noise_figure_db: float = constants.TERMINAL_NOISE_FIGURE_DB
+    repeater_noise_figure_db: float = constants.REPEATER_NOISE_FIGURE_DB
+    repeater_noise_model: RepeaterNoiseModel = RepeaterNoiseModel.PAPER
+    fronthaul: FronthaulParams = field(default_factory=FronthaulParams)
+
+    @property
+    def hp_rstp_dbm(self) -> float:
+        """Per-subcarrier RSTP of a high-power RRH antenna."""
+        return self.carrier.rstp_dbm(self.hp_eirp_dbm)
+
+    @property
+    def lp_rstp_dbm(self) -> float:
+        """Per-subcarrier RSTP of a low-power repeater node."""
+        return self.carrier.rstp_dbm(self.lp_eirp_dbm)
+
+    @property
+    def terminal_noise_dbm(self) -> float:
+        """Terminal noise per subcarrier (thermal floor x terminal NF)."""
+        return thermal_noise_dbm(self.noise_floor_rsrp_dbm, self.terminal_noise_figure_db)
+
+    def hp_friis(self) -> CalibratedFriis:
+        """Calibrated attenuation law of a high-power site."""
+        return CalibratedFriis(self.carrier.frequency_hz, self.hp_calibration_db)
+
+    def lp_friis(self) -> CalibratedFriis:
+        """Calibrated attenuation law of a low-power repeater."""
+        return CalibratedFriis(self.carrier.frequency_hz, self.lp_calibration_db)
+
+
+@dataclass(frozen=True)
+class SnrProfile:
+    """Result of an Eq. (2) evaluation over a position grid.
+
+    All per-source arrays are indexed ``[source, position]``; sources are
+    ordered: HP left, HP right, then repeaters in layout order.
+    """
+
+    positions_m: np.ndarray
+    source_rsrp_dbm: np.ndarray
+    total_signal_dbm: np.ndarray
+    total_noise_dbm: np.ndarray
+    snr_db: np.ndarray
+
+    @property
+    def min_snr_db(self) -> float:
+        """Worst-case SNR along the track (the optimizer's constraint)."""
+        return float(np.min(self.snr_db))
+
+    @property
+    def mean_snr_db(self) -> float:
+        """Position-averaged SNR in dB (average of dB values)."""
+        return float(np.mean(self.snr_db))
+
+    def snr_at(self, position_m: float) -> float:
+        """SNR at the grid point nearest to ``position_m``."""
+        idx = int(np.argmin(np.abs(self.positions_m - position_m)))
+        return float(self.snr_db[idx])
+
+
+def _repeater_noise_mw(layout, params: LinkParams, attenuation_linear: np.ndarray) -> np.ndarray:
+    """Noise received from all repeaters, per model, in mW per subcarrier.
+
+    ``attenuation_linear`` is the [repeater, position] service-path attenuation.
+    """
+    model = params.repeater_noise_model
+    n_rep = attenuation_linear.shape[0]
+    if n_rep == 0:
+        return np.zeros(attenuation_linear.shape[1])
+
+    if model is RepeaterNoiseModel.PAPER:
+        # N_LP,n(d) = N_RSRP * NF_LP / L_LP,n(d)  (literal Eq. 2 term)
+        out_port_mw = 10.0 ** ((params.noise_floor_rsrp_dbm + params.repeater_noise_figure_db) / 10.0)
+        return np.sum(out_port_mw / attenuation_linear, axis=0)
+
+    # Amplify-and-forward: radiated noise = RSTP / fronthaul SNR per node.
+    budget = FronthaulBudget(params.fronthaul)
+    positions = np.asarray(layout.repeater_positions_m, dtype=float)
+    donor_left = 0.0
+    donor_right = layout.isd_m
+    dist_left = positions - donor_left
+    dist_right = donor_right - positions
+    nearest = np.minimum(dist_left, dist_right)
+    if model is RepeaterNoiseModel.FRONTHAUL_STAR:
+        snr_fh = budget.snr_linear_at(nearest)
+    else:
+        # Chain: nodes relay from the nearest HP mast inward; the node k hops
+        # away from its donor accumulates k extra hops of node spacing.
+        order_left = np.argsort(dist_left)
+        hops = np.empty(n_rep)
+        served_left = dist_left <= dist_right
+        idx_sorted_left = np.argsort(dist_left)
+        idx_sorted_right = np.argsort(dist_right)
+        hop_rank_left = np.empty(n_rep, dtype=int)
+        hop_rank_right = np.empty(n_rep, dtype=int)
+        hop_rank_left[idx_sorted_left] = np.arange(n_rep)
+        hop_rank_right[idx_sorted_right] = np.arange(n_rep)
+        hops = np.where(served_left, hop_rank_left, hop_rank_right).astype(float)
+        first_hop = np.where(served_left, dist_left - hops * _chain_spacing(positions),
+                             dist_right - hops * _chain_spacing(positions))
+        first_hop = np.maximum(first_hop, 1.0)
+        snr_fh = budget.chain_output_snr_linear(first_hop, hops, _chain_spacing(positions))
+        del order_left
+    rstp_mw = 10.0 ** (params.lp_rstp_dbm / 10.0)
+    radiated_noise_mw = rstp_mw / snr_fh  # at each repeater's output port
+    return np.sum(radiated_noise_mw[:, None] / attenuation_linear, axis=0)
+
+
+def _chain_spacing(positions: np.ndarray) -> float:
+    """Hop length of a daisy chain: the (uniform) node spacing."""
+    if positions.size < 2:
+        return float(constants.LP_NODE_SPACING_M)
+    return float(np.min(np.diff(np.sort(positions))))
+
+
+def compute_snr_profile(layout, params: LinkParams | None = None,
+                        resolution_m: float = 1.0) -> SnrProfile:
+    """Evaluate Eq. (2) over the full track segment of ``layout``.
+
+    Parameters
+    ----------
+    layout:
+        A :class:`repro.corridor.layout.CorridorLayout` (duck-typed: needs
+        ``isd_m`` and ``repeater_positions_m``).
+    params:
+        Link parameters; paper defaults when omitted.
+    resolution_m:
+        Position grid step.  1 m reproduces the paper's smooth curves.
+    """
+    params = params or LinkParams()
+    if resolution_m <= 0:
+        raise ConfigurationError(f"resolution must be positive, got {resolution_m}")
+    isd = float(layout.isd_m)
+    if isd <= 0:
+        raise GeometryError(f"ISD must be positive, got {isd}")
+    repeaters = np.asarray(layout.repeater_positions_m, dtype=float)
+    if repeaters.size and (np.any(repeaters <= 0.0) or np.any(repeaters >= isd)):
+        raise GeometryError("repeater positions must lie strictly inside (0, ISD)")
+
+    positions = np.arange(resolution_m, isd, resolution_m)
+    if positions.size == 0:
+        raise GeometryError(f"no evaluation points for ISD {isd} at resolution {resolution_m}")
+
+    hp = params.hp_friis()
+    lp = params.lp_friis()
+
+    source_positions = [0.0, isd] + list(repeaters)
+    n_sources = len(source_positions)
+    rsrp_dbm = np.empty((n_sources, positions.size))
+    rsrp_dbm[0] = hp.received_power_dbm(params.hp_rstp_dbm, np.abs(positions - 0.0))
+    rsrp_dbm[1] = hp.received_power_dbm(params.hp_rstp_dbm, np.abs(positions - isd))
+
+    lp_attenuation = np.empty((repeaters.size, positions.size))
+    for i, rp in enumerate(repeaters):
+        att_db = lp.attenuation_db(np.abs(positions - rp))
+        lp_attenuation[i] = 10.0 ** (att_db / 10.0)
+        rsrp_dbm[2 + i] = params.lp_rstp_dbm - att_db
+
+    signal_mw = np.sum(10.0 ** (rsrp_dbm / 10.0), axis=0)
+    noise_mw = 10.0 ** (params.terminal_noise_dbm / 10.0) + _repeater_noise_mw(
+        layout, params, lp_attenuation)
+
+    snr_db = 10.0 * np.log10(signal_mw / noise_mw)
+    return SnrProfile(
+        positions_m=positions,
+        source_rsrp_dbm=rsrp_dbm,
+        total_signal_dbm=10.0 * np.log10(signal_mw),
+        total_noise_dbm=10.0 * np.log10(noise_mw),
+        snr_db=snr_db,
+    )

@@ -1,0 +1,72 @@
+"""Node descriptions: high-power RRH sites, low-power repeaters, donor nodes.
+
+These are pure radio/geometry descriptions; power-consumption behaviour lives
+in :mod:`repro.power` and operational state in :mod:`repro.simulation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import constants
+from repro.errors import ConfigurationError
+
+__all__ = ["HighPowerSite", "RepeaterNode", "DonorNode"]
+
+
+@dataclass(frozen=True)
+class HighPowerSite:
+    """A high-power RRH mast at ``position_m`` along the track.
+
+    One mast carries :data:`repro.constants.RRH_PER_MAST` RRHs with back-to-back
+    pencil-beam antennas; ``eirp_dbm`` is per antenna (the paper's 2500 W =
+    64 dBm).
+    """
+
+    position_m: float
+    eirp_dbm: float = constants.HP_EIRP_DBM
+    calibration_db: float = constants.HP_CALIBRATION_DB
+
+    def __post_init__(self) -> None:
+        if self.eirp_dbm > 80.0:
+            raise ConfigurationError(
+                f"HP EIRP {self.eirp_dbm} dBm is implausible (>80 dBm); expected ~64 dBm")
+
+
+@dataclass(frozen=True)
+class RepeaterNode:
+    """A low-power out-of-band amplify-and-forward service node.
+
+    Mounted on existing catenary masts; transmits the down-converted cell
+    signal with at most ``eirp_dbm`` (the paper's 10 W = 40 dBm).
+    ``noise_figure_db`` is the repeater chain noise figure (8 dB).
+    """
+
+    position_m: float
+    eirp_dbm: float = constants.LP_EIRP_DBM
+    calibration_db: float = constants.LP_CALIBRATION_DB
+    noise_figure_db: float = constants.REPEATER_NOISE_FIGURE_DB
+
+    def __post_init__(self) -> None:
+        if self.noise_figure_db < 0:
+            raise ConfigurationError(f"noise figure must be >= 0 dB, got {self.noise_figure_db}")
+        if self.eirp_dbm > 50.0:
+            raise ConfigurationError(
+                f"LP EIRP {self.eirp_dbm} dBm is implausible for a low-power node (>50 dBm)")
+
+
+@dataclass(frozen=True)
+class DonorNode:
+    """A donor repeater node co-located with a high-power mast.
+
+    Donor nodes up-convert the cell signal onto the mmWave fronthaul.  They do
+    not radiate the service carrier, so they only matter for energy accounting
+    and the fronthaul budget.
+    """
+
+    position_m: float
+    serves_node_indices: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if any(i < 0 for i in self.serves_node_indices):
+            raise ConfigurationError("served node indices must be >= 0")

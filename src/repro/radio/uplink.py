@@ -1,0 +1,131 @@
+"""Uplink link budget — the reverse direction of the corridor.
+
+The paper treats the uplink "similarly, but in the reverse direction"
+(Section III): the terminal transmits, repeaters pick the signal up, shift it
+to the mmWave fronthaul and the donor injects it into the serving cell.  The
+downlink analysis carries the capacity argument, but a deployment is only
+valid when the uplink closes too — this module checks that.
+
+Model: the terminal transmits with ``ue_eirp_dbm`` (23 dBm power class 3)
+spread over the subcarriers of its uplink allocation; the receiving node
+(HP RRH or repeater service antenna) sees the same calibrated port-to-port
+attenuation as the downlink (antenna reciprocity), with the *base-station*
+noise figure at the receiver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import constants
+from repro.corridor.layout import CorridorLayout
+from repro.errors import ConfigurationError
+from repro.radio.carrier import NrCarrier
+from repro.radio.link import LinkParams
+
+__all__ = ["UplinkParams", "UplinkProfile", "compute_uplink_profile"]
+
+#: 3GPP power class 3 terminal: 23 dBm total transmit power.
+UE_TX_POWER_DBM = 23.0
+#: Typical macro receiver noise figure.
+BS_NOISE_FIGURE_DB = 3.0
+#: Subcarriers of a cell-edge uplink allocation (11 PRB at 30 kHz, ~4 MHz).
+#: Power-controlled UEs at the cell edge concentrate their 23 dBm in a
+#: narrow allocation — this is what lets the long corridor uplink close.
+DEFAULT_UL_SUBCARRIERS = 132
+
+
+@dataclass(frozen=True)
+class UplinkParams:
+    """Uplink budget parameters.
+
+    ``ul_subcarriers`` is the terminal's allocation: uplink power per
+    subcarrier is total UE power divided by the allocated subcarriers only
+    (the UE concentrates its power, unlike the always-full downlink grid).
+    """
+
+    link: LinkParams = field(default_factory=LinkParams)
+    ue_tx_power_dbm: float = UE_TX_POWER_DBM
+    ul_subcarriers: int = DEFAULT_UL_SUBCARRIERS
+    bs_noise_figure_db: float = BS_NOISE_FIGURE_DB
+    repeater_ul_noise_figure_db: float = constants.REPEATER_NOISE_FIGURE_DB
+
+    def __post_init__(self) -> None:
+        if not 0 < self.ul_subcarriers <= self.link.carrier.n_subcarriers:
+            raise ConfigurationError(
+                f"uplink allocation {self.ul_subcarriers} must be within the "
+                f"carrier's {self.link.carrier.n_subcarriers} subcarriers")
+        if self.ue_tx_power_dbm > 33.0:
+            raise ConfigurationError(
+                f"UE power {self.ue_tx_power_dbm} dBm exceeds any 3GPP power class")
+
+    @property
+    def ue_rstp_dbm(self) -> float:
+        """UE transmit power per allocated subcarrier."""
+        return self.ue_tx_power_dbm - 10.0 * np.log10(self.ul_subcarriers)
+
+
+@dataclass(frozen=True)
+class UplinkProfile:
+    """Uplink SNR along the track (best serving receiver per position)."""
+
+    positions_m: np.ndarray
+    snr_hp_db: np.ndarray          # best HP mast receiver
+    snr_repeater_db: np.ndarray    # best repeater receiver (-inf when none)
+    snr_best_db: np.ndarray        # best of all receivers
+
+    @property
+    def min_snr_db(self) -> float:
+        return float(np.min(self.snr_best_db))
+
+    def closes_at(self, required_snr_db: float) -> bool:
+        """Whether the uplink meets an SNR target everywhere."""
+        return bool(np.all(self.snr_best_db >= required_snr_db))
+
+
+def compute_uplink_profile(layout: CorridorLayout,
+                           params: UplinkParams | None = None,
+                           resolution_m: float = 1.0) -> UplinkProfile:
+    """Uplink SNR profile: terminal at each position, best receiving node.
+
+    Repeater reception adds the repeater's UL noise figure; the fronthaul
+    back to the donor is assumed transparent (its budget is checked by
+    :mod:`repro.propagation.fronthaul`).
+    """
+    params = params or UplinkParams()
+    if resolution_m <= 0:
+        raise ConfigurationError(f"resolution must be positive, got {resolution_m}")
+    link = params.link
+    positions = np.arange(resolution_m, layout.isd_m, resolution_m)
+    if positions.size == 0:
+        raise ConfigurationError(f"no evaluation points for ISD {layout.isd_m}")
+
+    hp = link.hp_friis()
+    lp = link.lp_friis()
+    noise_floor = link.noise_floor_rsrp_dbm
+
+    # Receive SNR at the two HP masts.
+    hp_noise = noise_floor + params.bs_noise_figure_db
+    rx_left = params.ue_rstp_dbm - hp.attenuation_db(positions)
+    rx_right = params.ue_rstp_dbm - hp.attenuation_db(layout.isd_m - positions)
+    snr_hp = np.maximum(rx_left, rx_right) - hp_noise
+
+    # Receive SNR at the best repeater (service antenna, repeater NF).
+    if layout.n_repeaters:
+        lp_noise = noise_floor + params.repeater_ul_noise_figure_db
+        rx_lp = np.full(positions.size, -np.inf)
+        for pos in layout.repeater_positions_m:
+            rx = params.ue_rstp_dbm - lp.attenuation_db(np.abs(positions - pos))
+            rx_lp = np.maximum(rx_lp, rx)
+        snr_lp = rx_lp - lp_noise
+    else:
+        snr_lp = np.full(positions.size, -np.inf)
+
+    return UplinkProfile(
+        positions_m=positions,
+        snr_hp_db=snr_hp,
+        snr_repeater_db=snr_lp,
+        snr_best_db=np.maximum(snr_hp, snr_lp),
+    )

@@ -1,0 +1,6 @@
+"""Output helpers: ASCII tables and CSV series for the experiment runners."""
+
+from repro.reporting.tables import format_table
+from repro.reporting.series import series_to_csv, write_csv
+
+__all__ = ["format_table", "series_to_csv", "write_csv"]

@@ -1,0 +1,37 @@
+"""CSV export of experiment data series (figure regeneration artifacts)."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["series_to_csv", "write_csv"]
+
+
+def series_to_csv(columns: Mapping[str, Sequence]) -> str:
+    """Turn named, equal-length columns into CSV text."""
+    if not columns:
+        raise ConfigurationError("need at least one column")
+    lengths = {name: len(values) for name, values in columns.items()}
+    if len(set(lengths.values())) != 1:
+        raise ConfigurationError(f"column lengths differ: {lengths}")
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    names = list(columns)
+    writer.writerow(names)
+    for row in zip(*(columns[n] for n in names)):
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_csv(path: str | Path, columns: Mapping[str, Sequence]) -> Path:
+    """Write named columns to a CSV file; returns the resolved path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(series_to_csv(columns))
+    return path

@@ -1,0 +1,25 @@
+"""Discrete-event simulation of the corridor's sleep-mode operation.
+
+The analytic energy model (:mod:`repro.energy`) assumes ideal, instantaneous
+state switching.  This package simulates the corridor event by event — trains
+move, photoelectric barriers fire, nodes wake with a finite transition time,
+energy integrates over the actual power trajectory — providing an independent
+cross-check of the analytic numbers and a way to quantify non-idealities
+(wake latency, detection margins, irregular timetables).
+"""
+
+from repro.simulation.engine import Simulator
+from repro.simulation.statemachine import NodeState, PowerStateMachine
+from repro.simulation.detectors import PhotoelectricBarrier
+from repro.simulation.recorder import EnergyRecorder
+from repro.simulation.corridor_sim import CorridorSimulation, SimulatedEnergy
+
+__all__ = [
+    "Simulator",
+    "NodeState",
+    "PowerStateMachine",
+    "PhotoelectricBarrier",
+    "EnergyRecorder",
+    "CorridorSimulation",
+    "SimulatedEnergy",
+]

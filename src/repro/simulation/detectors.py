@@ -1,0 +1,53 @@
+"""Photoelectric train barrier model.
+
+"A passing train is detected using a photoelectric barrier, and the repeater
+node will switch to full operation during that time duration." (Section IV)
+
+A barrier guards one coverage section.  It is placed ``wake_lead_m`` upstream
+of the section boundary on both sides, so a sleeping node receives its wake
+command early enough to finish the wake transition before the train actually
+enters the section.  For each train run the barrier produces (wake time,
+enter time, exit time) triples used to drive the node's state machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.traffic.timetable import TrainRun
+
+__all__ = ["PhotoelectricBarrier"]
+
+
+@dataclass(frozen=True)
+class PhotoelectricBarrier:
+    """Detection geometry of one coverage section [m along the segment]."""
+
+    section_start_m: float
+    section_end_m: float
+    wake_lead_m: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.section_end_m <= self.section_start_m:
+            raise ConfigurationError(
+                f"section end {self.section_end_m} must exceed start {self.section_start_m}")
+        if self.wake_lead_m < 0:
+            raise ConfigurationError(f"wake lead must be >= 0, got {self.wake_lead_m}")
+
+    def events_for(self, run: TrainRun, segment_length_m: float) -> tuple[float, float, float]:
+        """(wake, enter, exit) times for one train run.
+
+        ``wake`` is when the barrier (lead distance upstream) fires; ``enter``
+        / ``exit`` delimit the train's overlap with the section itself.
+        """
+        enter, exit_ = run.interval_over(self.section_start_m, self.section_end_m,
+                                         segment_length_m)
+        wake = enter - self.wake_lead_m / run.train.speed_ms
+        return wake, enter, exit_
+
+    def lead_seconds(self, speed_ms: float) -> float:
+        """Warning time the lead distance provides at a train speed."""
+        if speed_ms <= 0:
+            raise ConfigurationError(f"speed must be positive, got {speed_ms}")
+        return self.wake_lead_m / speed_ms

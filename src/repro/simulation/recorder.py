@@ -1,0 +1,64 @@
+"""Energy accounting: integrates each unit's piecewise-constant power draw."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+__all__ = ["EnergyRecorder"]
+
+
+@dataclass
+class _Track:
+    power_w: float
+    since_s: float
+    energy_j: float = 0.0
+
+
+@dataclass
+class EnergyRecorder:
+    """Accumulates energy per named unit from power-change notifications."""
+
+    _tracks: dict[str, _Track] = field(default_factory=dict)
+    _finalized_at: float | None = None
+
+    def register(self, name: str, power_w: float, now_s: float) -> None:
+        """Start tracking a unit at its current power."""
+        if name in self._tracks:
+            raise SimulationError(f"unit {name!r} registered twice")
+        self._tracks[name] = _Track(power_w=power_w, since_s=now_s)
+
+    def update(self, name: str, power_w: float, now_s: float) -> None:
+        """The unit's draw changed at ``now_s``."""
+        track = self._tracks.get(name)
+        if track is None:
+            raise SimulationError(f"unit {name!r} not registered")
+        if now_s < track.since_s - 1e-9:
+            raise SimulationError(
+                f"unit {name!r}: time went backwards ({now_s} < {track.since_s})")
+        track.energy_j += track.power_w * max(0.0, now_s - track.since_s)
+        track.power_w = power_w
+        track.since_s = now_s
+
+    def finalize(self, end_s: float) -> None:
+        """Close all integration windows at the simulation end time."""
+        for name in self._tracks:
+            self.update(name, self._tracks[name].power_w, end_s)
+        self._finalized_at = end_s
+
+    # -- results ---------------------------------------------------------------
+
+    def energy_wh(self, name: str) -> float:
+        """Accumulated energy of one unit [Wh]."""
+        if name not in self._tracks:
+            raise SimulationError(f"unit {name!r} not registered")
+        return self._tracks[name].energy_j / 3600.0
+
+    def total_wh(self, prefix: str = "") -> float:
+        """Total energy of all units whose name starts with ``prefix`` [Wh]."""
+        return sum(t.energy_j for n, t in self._tracks.items()
+                   if n.startswith(prefix)) / 3600.0
+
+    def names(self) -> list[str]:
+        return sorted(self._tracks)

@@ -1,0 +1,46 @@
+"""Solar substrate — an offline substitute for the PVGIS off-grid tool.
+
+The paper dimensions the repeater's PV system with the PVGIS web service
+(https://ec.europa.eu/jrc/en/pvgis).  That service is not available offline,
+so this package implements the pieces of it the paper consumes:
+
+* solar geometry (declination, hour angle, zenith/incidence angles),
+* a synthetic typical-meteorological-year generator driven by monthly
+  clearness-index climatology for the four studied locations, with seeded
+  AR(1) day-to-day variability (dark-spell persistence is what drains the
+  battery in winter),
+* Erbs diffuse decomposition and isotropic transposition onto the vertical
+  south-facing module plane,
+* a PV + battery off-grid simulation reporting the PVGIS statistics used in
+  Table IV ("days with full battery", downtime), and
+* a sizing search that finds the minimal zero-downtime configuration.
+
+See DESIGN.md section 3 for the substitution rationale and calibration notes.
+"""
+
+from repro.solar.geometry import SolarGeometry, declination_rad, sunset_hour_angle_rad
+from repro.solar.climates import LOCATIONS, Location
+from repro.solar.irradiance import SyntheticWeather, WeatherParams, DayIrradiance
+from repro.solar.pv import PvArray
+from repro.solar.battery import Battery
+from repro.solar.offgrid import LoadProfile, OffGridResult, OffGridSystem, repeater_load_profile
+from repro.solar.sizing import SizingResult, find_minimal_system
+
+__all__ = [
+    "SolarGeometry",
+    "declination_rad",
+    "sunset_hour_angle_rad",
+    "Location",
+    "LOCATIONS",
+    "WeatherParams",
+    "SyntheticWeather",
+    "DayIrradiance",
+    "PvArray",
+    "Battery",
+    "LoadProfile",
+    "repeater_load_profile",
+    "OffGridSystem",
+    "OffGridResult",
+    "SizingResult",
+    "find_minimal_system",
+]

@@ -1,0 +1,111 @@
+"""Solar position geometry (standard textbook formulas, e.g. Duffie & Beckman).
+
+Angles are in radians internally; day-of-year ``n`` runs 1..365.  The module
+plane of interest is the paper's: tilt 90° (vertical, on a catenary mast),
+azimuth 0° = facing the equator (PVGIS convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "SOLAR_CONSTANT_W_M2",
+    "declination_rad",
+    "eccentricity_factor",
+    "sunset_hour_angle_rad",
+    "SolarGeometry",
+]
+
+SOLAR_CONSTANT_W_M2 = 1367.0
+
+
+def declination_rad(day_of_year) -> np.ndarray | float:
+    """Solar declination (Cooper's equation)."""
+    n = np.asarray(day_of_year, dtype=float)
+    delta = np.deg2rad(23.45) * np.sin(2.0 * np.pi * (284.0 + n) / 365.0)
+    return float(delta) if np.ndim(day_of_year) == 0 else delta
+
+
+def eccentricity_factor(day_of_year) -> np.ndarray | float:
+    """Earth-sun distance correction to the solar constant."""
+    n = np.asarray(day_of_year, dtype=float)
+    e0 = 1.0 + 0.033 * np.cos(2.0 * np.pi * n / 365.0)
+    return float(e0) if np.ndim(day_of_year) == 0 else e0
+
+
+def sunset_hour_angle_rad(latitude_rad: float, declination: float) -> float:
+    """Hour angle of sunset; clipped for polar day/night."""
+    x = -np.tan(latitude_rad) * np.tan(declination)
+    return float(np.arccos(np.clip(x, -1.0, 1.0)))
+
+
+@dataclass(frozen=True)
+class SolarGeometry:
+    """Solar geometry for a latitude and a module orientation.
+
+    ``tilt_deg=90`` and ``azimuth_deg=0`` (equator-facing) reproduce the
+    paper's vertical catenary-mast installation; other orientations are
+    supported for sensitivity studies.
+    """
+
+    latitude_deg: float
+    tilt_deg: float = 90.0
+    azimuth_deg: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude_deg <= 90.0:
+            raise ConfigurationError(f"latitude must be in [-90, 90], got {self.latitude_deg}")
+        if not 0.0 <= self.tilt_deg <= 90.0:
+            raise ConfigurationError(f"tilt must be in [0, 90], got {self.tilt_deg}")
+        if not -180.0 <= self.azimuth_deg <= 180.0:
+            raise ConfigurationError(f"azimuth must be in [-180, 180], got {self.azimuth_deg}")
+
+    @property
+    def latitude_rad(self) -> float:
+        return float(np.deg2rad(self.latitude_deg))
+
+    def cos_zenith(self, day_of_year: int, hour_angle_rad) -> np.ndarray | float:
+        """Cosine of the solar zenith angle (negative below the horizon)."""
+        delta = declination_rad(day_of_year)
+        phi = self.latitude_rad
+        w = np.asarray(hour_angle_rad, dtype=float)
+        out = np.sin(phi) * np.sin(delta) + np.cos(phi) * np.cos(delta) * np.cos(w)
+        return float(out) if np.ndim(hour_angle_rad) == 0 else out
+
+    def cos_incidence(self, day_of_year: int, hour_angle_rad) -> np.ndarray | float:
+        """Cosine of the incidence angle on the tilted module plane.
+
+        General formula for a surface tilted ``beta`` with surface azimuth
+        ``gamma`` (0 = equator-facing); negative values mean the sun is behind
+        the module.
+        """
+        delta = declination_rad(day_of_year)
+        phi = self.latitude_rad
+        beta = np.deg2rad(self.tilt_deg)
+        gamma = np.deg2rad(self.azimuth_deg)
+        w = np.asarray(hour_angle_rad, dtype=float)
+        out = (np.sin(delta) * np.sin(phi) * np.cos(beta)
+               - np.sin(delta) * np.cos(phi) * np.sin(beta) * np.cos(gamma)
+               + np.cos(delta) * np.cos(phi) * np.cos(beta) * np.cos(w)
+               + np.cos(delta) * np.sin(phi) * np.sin(beta) * np.cos(gamma) * np.cos(w)
+               + np.cos(delta) * np.sin(beta) * np.sin(gamma) * np.sin(w))
+        return float(out) if np.ndim(hour_angle_rad) == 0 else out
+
+    def daily_extraterrestrial_wh_m2(self, day_of_year: int) -> float:
+        """Daily extraterrestrial irradiation on the horizontal plane [Wh/m²]."""
+        delta = declination_rad(day_of_year)
+        phi = self.latitude_rad
+        ws = sunset_hour_angle_rad(phi, delta)
+        h0_j = (24.0 * 3600.0 / np.pi) * SOLAR_CONSTANT_W_M2 * eccentricity_factor(day_of_year) * (
+            np.cos(phi) * np.cos(delta) * np.sin(ws) + ws * np.sin(phi) * np.sin(delta))
+        return float(max(0.0, h0_j) / 3600.0)
+
+    def hour_angles_rad(self, hours_solar_time) -> np.ndarray:
+        """Hour angle for solar times in hours (12 = solar noon)."""
+        h = np.asarray(hours_solar_time, dtype=float)
+        return np.deg2rad(15.0 * (h - 12.0))

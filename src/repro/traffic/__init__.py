@@ -1,0 +1,29 @@
+"""Train traffic substrate — the Table III scenario.
+
+High-speed corridor: 8 trains/h during the 19 service hours, no passenger
+traffic for 5 h at night, 400 m trains at 200 km/h.  The package provides the
+train/timetable description, deterministic and stochastic timetable
+generation, and the coverage-section occupancy math that drives every duty
+cycle in the paper.
+"""
+
+from repro.traffic.trains import Train, TrafficParams
+from repro.traffic.timetable import Timetable, TrainRun, generate_timetable
+from repro.traffic.occupancy import (
+    full_load_seconds_per_train,
+    duty_cycle,
+    occupancy_seconds_per_day,
+    trains_per_day,
+)
+
+__all__ = [
+    "Train",
+    "TrafficParams",
+    "Timetable",
+    "TrainRun",
+    "generate_timetable",
+    "full_load_seconds_per_train",
+    "duty_cycle",
+    "occupancy_seconds_per_day",
+    "trains_per_day",
+]

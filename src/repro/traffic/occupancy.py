@@ -1,0 +1,75 @@
+"""Coverage-section occupancy and duty cycles — the heart of Section V-A.
+
+A radio unit runs at full load exactly while any part of a train overlaps its
+coverage section, so per train it is busy for ``(section + train) / speed``
+seconds.  With the Table III scenario (8 trains/h over 19 service hours) this
+gives the paper's quoted duty cycles: 2.85 % for a 500 m HP section and
+9.66 % for 2650 m, and 16 s / 55 s of full load per train.
+"""
+
+from __future__ import annotations
+
+from repro import constants
+from repro.errors import ConfigurationError
+from repro.traffic.trains import TrafficParams
+
+__all__ = [
+    "full_load_seconds_per_train",
+    "trains_per_day",
+    "occupancy_seconds_per_day",
+    "duty_cycle",
+    "average_power_w",
+]
+
+_DAY_S = 86_400.0
+
+
+def full_load_seconds_per_train(section_m: float,
+                                params: TrafficParams | None = None) -> float:
+    """Seconds of full-load operation caused by one passing train."""
+    params = params or TrafficParams()
+    return params.train.occupancy_seconds(section_m)
+
+
+def trains_per_day(params: TrafficParams | None = None) -> float:
+    """Trains crossing the segment per day (8/h x 19 h = 152 in the paper)."""
+    params = params or TrafficParams()
+    return params.trains_per_day
+
+
+def occupancy_seconds_per_day(section_m: float,
+                              params: TrafficParams | None = None) -> float:
+    """Total daily full-load seconds for a coverage section.
+
+    Assumes train passages do not overlap within one section, which holds
+    whenever the headway exceeds the single-train occupancy (7.5 min vs.
+    <1 min for every section in the paper).
+    """
+    params = params or TrafficParams()
+    per_train = full_load_seconds_per_train(section_m, params)
+    if per_train > params.headway_s:
+        raise ConfigurationError(
+            f"section {section_m} m occupancy {per_train:.1f} s exceeds the "
+            f"headway {params.headway_s:.1f} s; passages would overlap")
+    return per_train * params.trains_per_day
+
+
+def duty_cycle(section_m: float, params: TrafficParams | None = None) -> float:
+    """24 h-average full-load time fraction of a coverage section."""
+    return occupancy_seconds_per_day(section_m, params) / _DAY_S
+
+
+def average_power_w(section_m: float,
+                    full_load_w: float,
+                    inactive_w: float,
+                    params: TrafficParams | None = None) -> float:
+    """24 h-average power of a unit serving one coverage section.
+
+    ``inactive_w`` is what the unit draws when no train is present — its
+    no-load power for always-on operation, or its sleep power when it sleeps
+    between trains.
+    """
+    if full_load_w < 0 or inactive_w < 0:
+        raise ConfigurationError("powers must be >= 0 W")
+    chi = duty_cycle(section_m, params)
+    return chi * full_load_w + (1.0 - chi) * inactive_w

@@ -1,0 +1,72 @@
+"""Train and traffic-scenario parameter types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import constants
+from repro.errors import ConfigurationError
+from repro.units import kmh_to_ms
+
+__all__ = ["Train", "TrafficParams"]
+
+
+@dataclass(frozen=True)
+class Train:
+    """A single train: physical length and cruise speed."""
+
+    length_m: float = constants.TRAIN_LENGTH_M
+    speed_kmh: float = constants.TRAIN_SPEED_KMH
+
+    def __post_init__(self) -> None:
+        if self.length_m <= 0:
+            raise ConfigurationError(f"train length must be positive, got {self.length_m}")
+        if self.speed_kmh <= 0:
+            raise ConfigurationError(f"train speed must be positive, got {self.speed_kmh}")
+
+    @property
+    def speed_ms(self) -> float:
+        return kmh_to_ms(self.speed_kmh)
+
+    def occupancy_seconds(self, section_m: float) -> float:
+        """Time the train overlaps a section: (section + length) / speed."""
+        if section_m < 0:
+            raise ConfigurationError(f"section length must be >= 0, got {section_m}")
+        return (section_m + self.length_m) / self.speed_ms
+
+
+@dataclass(frozen=True)
+class TrafficParams:
+    """The Table III traffic scenario.
+
+    ``trains_per_hour`` applies during service hours; there is no passenger
+    traffic for ``night_quiet_hours`` per day.  The paper counts trains per
+    direction jointly — 8 trains/h cross a given segment in total.
+    """
+
+    trains_per_hour: float = constants.TRAINS_PER_HOUR
+    night_quiet_hours: float = constants.NIGHT_QUIET_HOURS
+    train: Train = Train()
+
+    def __post_init__(self) -> None:
+        if self.trains_per_hour < 0:
+            raise ConfigurationError(f"trains/h must be >= 0, got {self.trains_per_hour}")
+        if not 0 <= self.night_quiet_hours <= 24:
+            raise ConfigurationError(
+                f"night quiet hours must be within [0, 24], got {self.night_quiet_hours}")
+
+    @property
+    def service_hours(self) -> float:
+        """Hours per day with passenger traffic."""
+        return 24.0 - self.night_quiet_hours
+
+    @property
+    def trains_per_day(self) -> float:
+        return self.trains_per_hour * self.service_hours
+
+    @property
+    def headway_s(self) -> float:
+        """Average time between consecutive trains during service hours."""
+        if self.trains_per_hour == 0:
+            return float("inf")
+        return 3600.0 / self.trains_per_hour

@@ -1,0 +1,99 @@
+"""Unit conversions used throughout the library.
+
+All radio computations in :mod:`repro` use explicit unit suffixes:
+
+* ``_db`` / ``_dbm`` — decibel quantities (ratios / absolute power vs. 1 mW)
+* ``_w`` / ``_mw`` — linear power in watts / milliwatts
+* ``_hz`` / ``_m`` / ``_s`` — SI frequency, length, time
+
+This module centralizes the dB <-> linear conversions so rounding and
+vectorization behaviour is uniform.  Every function accepts scalars or numpy
+arrays and returns the matching type.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import SPEED_OF_LIGHT_M_S
+
+__all__ = [
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_mw",
+    "mw_to_dbm",
+    "dbm_to_w",
+    "w_to_dbm",
+    "wavelength_m",
+    "sum_powers_dbm",
+    "kmh_to_ms",
+    "ms_to_kmh",
+]
+
+
+def db_to_linear(value_db):
+    """Convert a dB ratio to a linear ratio (``10 ** (dB / 10)``)."""
+    return np.power(10.0, np.asarray(value_db, dtype=float) / 10.0) if np.ndim(value_db) else 10.0 ** (value_db / 10.0)
+
+
+def linear_to_db(value):
+    """Convert a linear ratio to dB (``10 * log10``).
+
+    Raises :class:`ValueError` for non-positive scalar input; for arrays the
+    caller is responsible for masking zeros (numpy will emit ``-inf``).
+    """
+    if np.ndim(value) == 0:
+        if value <= 0:
+            raise ValueError(f"cannot convert non-positive ratio {value!r} to dB")
+        return 10.0 * np.log10(value)
+    return 10.0 * np.log10(np.asarray(value, dtype=float))
+
+
+def dbm_to_mw(power_dbm):
+    """Convert absolute power in dBm to milliwatts."""
+    return db_to_linear(power_dbm)
+
+
+def mw_to_dbm(power_mw):
+    """Convert absolute power in milliwatts to dBm."""
+    return linear_to_db(power_mw)
+
+
+def dbm_to_w(power_dbm):
+    """Convert absolute power in dBm to watts."""
+    return dbm_to_mw(power_dbm) / 1e3
+
+
+def w_to_dbm(power_w):
+    """Convert absolute power in watts to dBm."""
+    if np.ndim(power_w) == 0 and power_w <= 0:
+        raise ValueError(f"cannot convert non-positive power {power_w!r} W to dBm")
+    return mw_to_dbm(np.asarray(power_w, dtype=float) * 1e3) if np.ndim(power_w) else mw_to_dbm(power_w * 1e3)
+
+
+def wavelength_m(frequency_hz: float) -> float:
+    """Free-space wavelength for a carrier frequency."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz!r}")
+    return SPEED_OF_LIGHT_M_S / frequency_hz
+
+
+def sum_powers_dbm(*powers_dbm):
+    """Combine absolute powers given in dBm (non-coherent power sum).
+
+    Accepts any mix of scalars and equally shaped arrays; returns dBm.
+    """
+    if not powers_dbm:
+        raise ValueError("need at least one power to sum")
+    total_mw = sum(dbm_to_mw(p) for p in powers_dbm)
+    return mw_to_dbm(total_mw)
+
+
+def kmh_to_ms(speed_kmh: float) -> float:
+    """Convert km/h to m/s."""
+    return speed_kmh / 3.6
+
+
+def ms_to_kmh(speed_ms: float) -> float:
+    """Convert m/s to km/h."""
+    return speed_ms * 3.6

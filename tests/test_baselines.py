@@ -1,0 +1,95 @@
+"""Tests for the baseline deployments."""
+
+import pytest
+
+from repro.baselines.conventional import ConventionalCorridor
+from repro.baselines.inband import InbandFeasibility, inband_isolation_margin_db
+from repro.baselines.onboard_relay import OnboardRelayFleet
+from repro.errors import ConfigurationError
+
+
+class TestConventional:
+    def test_sustains_peak(self):
+        assert ConventionalCorridor().sustains_peak()
+
+    def test_min_snr_comfortable(self):
+        # At 500 m ISD the conventional corridor has several dB of margin.
+        assert ConventionalCorridor().min_snr_db() > 32.0
+
+    def test_energy_reference(self):
+        assert ConventionalCorridor().w_per_km == pytest.approx(467.2, abs=0.5)
+
+    def test_longer_isd_less_power_less_snr(self):
+        short = ConventionalCorridor(isd_m=500.0)
+        long = ConventionalCorridor(isd_m=900.0)
+        assert long.w_per_km < short.w_per_km
+        assert long.min_snr_db() < short.min_snr_db()
+
+
+class TestOnboardRelay:
+    def test_average_power_per_train(self):
+        fleet = OnboardRelayFleet()
+        # 2 relays x 650 W x 1.3 cooling x 19/24 duty = 1338 W.
+        assert fleet.average_power_per_train_w == pytest.approx(1337.9, abs=0.5)
+
+    def test_fleet_scaling(self):
+        fleet = OnboardRelayFleet()
+        assert fleet.fleet_average_power_w(10) == pytest.approx(
+            10 * fleet.average_power_per_train_w)
+
+    def test_relays_cost_more_than_repeater_corridor(self):
+        # A fleet serving a 100 km corridor (say 25 trainsets) vs. the
+        # repeater corridor's ~120 W/km: relays lose clearly.
+        fleet = OnboardRelayFleet()
+        per_km = fleet.per_km_equivalent_w(n_trains=25, corridor_km=100.0)
+        assert per_km > 120.0
+
+    def test_annual_energy(self):
+        fleet = OnboardRelayFleet()
+        assert fleet.annual_energy_mwh(1) == pytest.approx(
+            fleet.average_power_per_train_w * 8760 / 1e6)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            OnboardRelayFleet(relays_per_train=0)
+        with pytest.raises(ConfigurationError):
+            OnboardRelayFleet(duty=1.5)
+        with pytest.raises(ConfigurationError):
+            OnboardRelayFleet().fleet_average_power_w(-1)
+        with pytest.raises(ConfigurationError):
+            OnboardRelayFleet().per_km_equivalent_w(10, 0.0)
+
+
+class TestInband:
+    def test_corridor_gain_requirement_infeasible(self):
+        # A corridor node needs ~+4.8 dBm RSTP from a ~-95 dBm donor signal:
+        # ~100 dB gain, far beyond outdoor antenna isolation.
+        assessment = InbandFeasibility.for_corridor_node(
+            donor_rsrp_dbm=-95.0, target_rstp_dbm=4.81)
+        assert assessment.required_gain_db == pytest.approx(99.81)
+        assert not assessment.feasible
+        assert assessment.margin_db < -40.0
+
+    def test_indoor_scenario_feasible(self):
+        # Indoor deployments achieve >100 dB isolation at modest gains.
+        assessment = InbandFeasibility(required_gain_db=70.0,
+                                       achievable_isolation_db=110.0)
+        assert assessment.feasible
+
+    def test_max_stable_gain(self):
+        assessment = InbandFeasibility(required_gain_db=50.0,
+                                       achievable_isolation_db=70.0)
+        assert assessment.max_stable_gain_db == pytest.approx(55.0)
+
+    def test_margin_helper(self):
+        assert inband_isolation_margin_db(50.0, 70.0) == pytest.approx(5.0)
+        assert inband_isolation_margin_db(60.0, 70.0) == pytest.approx(-5.0)
+
+    def test_no_gain_needed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InbandFeasibility.for_corridor_node(donor_rsrp_dbm=10.0,
+                                                target_rstp_dbm=0.0)
+
+    def test_negative_gain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            inband_isolation_margin_db(-1.0, 70.0)

@@ -1,0 +1,108 @@
+"""Tests for the truncated Shannon capacity model (TR 36.942 A.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.capacity.shannon import TruncatedShannonModel, peak_snr_threshold_db
+from repro.capacity.throughput import throughput_profile
+from repro.corridor.layout import CorridorLayout
+from repro.errors import ConfigurationError
+from repro.radio.carrier import NrCarrier
+from repro.radio.link import compute_snr_profile
+
+
+class TestPeakThreshold:
+    def test_paper_parameters_give_29_3_db(self):
+        # alpha = 0.6, ThrMAX = 5.84 -> 2^(5.84/0.6) - 1 = 29.30 dB
+        assert peak_snr_threshold_db() == pytest.approx(29.30, abs=0.01)
+
+    def test_higher_alpha_lower_threshold(self):
+        assert peak_snr_threshold_db(alpha=0.8) < peak_snr_threshold_db(alpha=0.6)
+
+    def test_rejects_zero_alpha(self):
+        with pytest.raises(ConfigurationError):
+            peak_snr_threshold_db(alpha=0.0)
+
+
+class TestTruncatedShannon:
+    def test_zero_below_min_snr(self):
+        model = TruncatedShannonModel()
+        assert model.spectral_efficiency(-15.0) == 0.0
+
+    def test_at_min_snr_nonzero(self):
+        model = TruncatedShannonModel()
+        assert model.spectral_efficiency(-10.0) > 0.0
+
+    def test_saturates_at_max(self):
+        model = TruncatedShannonModel()
+        assert model.spectral_efficiency(50.0) == pytest.approx(5.84)
+
+    def test_exactly_at_threshold(self):
+        model = TruncatedShannonModel()
+        assert model.spectral_efficiency(model.peak_snr_db) == pytest.approx(5.84, rel=1e-6)
+
+    def test_shannon_region_value(self):
+        model = TruncatedShannonModel()
+        # At 10 dB: 0.6 * log2(1 + 10) = 2.076 bps/Hz
+        assert model.spectral_efficiency(10.0) == pytest.approx(2.076, abs=0.01)
+
+    def test_is_peak(self):
+        model = TruncatedShannonModel()
+        assert model.is_peak(29.5)
+        assert not model.is_peak(29.0)
+
+    def test_array_input(self):
+        model = TruncatedShannonModel()
+        out = model.spectral_efficiency(np.array([-20.0, 0.0, 40.0]))
+        assert out[0] == 0.0
+        assert 0.0 < out[1] < 5.84
+        assert out[2] == pytest.approx(5.84)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            TruncatedShannonModel(alpha=-0.1)
+
+    @given(st.floats(min_value=-30.0, max_value=60.0),
+           st.floats(min_value=0.1, max_value=20.0))
+    def test_monotone_nondecreasing(self, snr, delta):
+        model = TruncatedShannonModel()
+        assert model.spectral_efficiency(snr + delta) >= model.spectral_efficiency(snr)
+
+    @given(st.floats(min_value=-30.0, max_value=60.0))
+    def test_bounded(self, snr):
+        model = TruncatedShannonModel()
+        eff = model.spectral_efficiency(snr)
+        assert 0.0 <= eff <= 5.84
+
+
+class TestThroughputProfile:
+    def test_fig3_scenario_sustains_peak(self, fig3_layout):
+        snr = compute_snr_profile(fig3_layout)
+        thr = throughput_profile(snr)
+        assert thr.sustains_peak_everywhere
+        assert thr.peak_fraction() == 1.0
+
+    def test_peak_throughput_584_mbps(self, fig3_layout):
+        snr = compute_snr_profile(fig3_layout)
+        thr = throughput_profile(snr)
+        assert thr.peak_bps == pytest.approx(584e6)
+        assert thr.min_bps == pytest.approx(584e6)
+
+    def test_oversized_isd_loses_peak(self):
+        layout = CorridorLayout.with_uniform_repeaters(3500.0, 1)
+        snr = compute_snr_profile(layout, resolution_m=5.0)
+        thr = throughput_profile(snr)
+        assert not thr.sustains_peak_everywhere
+        assert thr.min_bps < thr.peak_bps
+
+    def test_mean_between_min_and_peak(self):
+        layout = CorridorLayout.with_uniform_repeaters(3200.0, 1)
+        thr = throughput_profile(compute_snr_profile(layout, resolution_m=5.0))
+        assert thr.min_bps <= thr.mean_bps <= thr.peak_bps
+
+    def test_custom_carrier_bandwidth(self, conventional_layout):
+        snr = compute_snr_profile(conventional_layout)
+        carrier = NrCarrier(bandwidth_hz=50e6, n_subcarriers=1650)
+        thr = throughput_profile(snr, carrier=carrier)
+        assert thr.peak_bps == pytest.approx(5.84 * 50e6)

@@ -1,0 +1,81 @@
+"""Sanity checks on the published constants and their internal consistency."""
+
+import pytest
+
+from repro import constants
+from repro.units import dbm_to_w
+
+
+class TestPowersAndCalibration:
+    def test_hp_eirp_is_2500_w(self):
+        assert dbm_to_w(constants.HP_EIRP_DBM) == pytest.approx(2500.0, rel=0.01)
+
+    def test_lp_eirp_is_10_w(self):
+        assert dbm_to_w(constants.LP_EIRP_DBM) == pytest.approx(10.0, rel=0.01)
+
+    def test_hp_calibration_larger_than_lp(self):
+        # The HP antennas shoot along the track into the wagons; their
+        # calibration includes more loss than the close-by repeaters.
+        assert constants.HP_CALIBRATION_DB > constants.LP_CALIBRATION_DB
+
+
+class TestSitePowers:
+    def test_hp_site_full_load_is_two_rrh(self):
+        per_rrh = constants.HP_RRH_P0_W + constants.HP_RRH_DELTA_P * constants.HP_RRH_PMAX_W
+        assert constants.RRH_PER_MAST * per_rrh == pytest.approx(constants.HP_SITE_FULL_LOAD_W)
+
+    def test_hp_site_no_load(self):
+        assert constants.RRH_PER_MAST * constants.HP_RRH_P0_W == pytest.approx(
+            constants.HP_SITE_NO_LOAD_W)
+
+    def test_hp_site_sleep(self):
+        assert constants.RRH_PER_MAST * constants.HP_RRH_PSLEEP_W == pytest.approx(
+            constants.HP_SITE_SLEEP_W)
+
+    def test_lp_earth_full_load_close_to_table1(self):
+        earth = constants.LP_REPEATER_P0_W + constants.LP_REPEATER_DELTA_P * constants.LP_REPEATER_PMAX_W
+        assert earth == pytest.approx(constants.LP_REPEATER_FULL_LOAD_W, abs=0.2)
+
+    def test_repeater_is_5pct_of_site(self):
+        # Abstract: "these repeaters consume only 5 % of the energy of a
+        # regular cell site".
+        share = constants.LP_REPEATER_FULL_LOAD_W / constants.HP_SITE_FULL_LOAD_W
+        assert share == pytest.approx(0.05, abs=0.005)
+
+
+class TestIsdList:
+    def test_ten_entries(self):
+        assert len(constants.PAPER_MAX_ISD_M) == 10
+
+    def test_strictly_increasing(self):
+        lst = constants.PAPER_MAX_ISD_M
+        assert all(b > a for a, b in zip(lst, lst[1:]))
+
+    def test_all_on_50m_grid(self):
+        assert all(isd % constants.ISD_STEP_M == 0 for isd in constants.PAPER_MAX_ISD_M)
+
+    def test_diminishing_returns(self):
+        # The increments never exceed the 200 m node spacing.
+        lst = constants.PAPER_MAX_ISD_M
+        increments = [b - a for a, b in zip(lst, lst[1:])]
+        assert all(inc <= constants.LP_NODE_SPACING_M for inc in increments)
+
+
+class TestScenario:
+    def test_sleep_below_no_load(self):
+        assert constants.LP_REPEATER_PSLEEP_W < constants.LP_REPEATER_P0_W
+        assert constants.HP_RRH_PSLEEP_W < constants.HP_RRH_P0_W
+
+    def test_conventional_isd_on_grid(self):
+        assert constants.CONVENTIONAL_ISD_M % constants.CATENARY_MAST_SPACING_M == 0
+
+    def test_repeater_spacing_on_catenary_grid(self):
+        assert constants.LP_NODE_SPACING_M % constants.CATENARY_MAST_SPACING_M == 0
+
+    def test_table4_reference_has_four_regions(self):
+        assert set(constants.PAPER_FULL_BATTERY_DAYS_PCT) == {
+            "madrid", "lyon", "vienna", "berlin"}
+
+    def test_table4_ordering(self):
+        p = constants.PAPER_FULL_BATTERY_DAYS_PCT
+        assert p["madrid"] > p["lyon"] > p["vienna"] > p["berlin"]

@@ -1,0 +1,96 @@
+"""Tests for the deployment cost model."""
+
+import pytest
+
+from repro.corridor.deployment import CorridorDeployment
+from repro.economics.costmodel import (
+    CostAssumptions,
+    corridor_cost,
+    retrofit_payback_years,
+)
+from repro.energy.scenario import OperatingMode
+from repro.errors import ConfigurationError
+
+
+class TestCorridorCost:
+    def test_conventional_dominated_by_masts(self):
+        cost = corridor_cost(CorridorDeployment.conventional(), corridor_km=100.0)
+        # 200 masts x 120k = 24M plus fiber 3M.
+        assert cost.capex == pytest.approx(200 * 120_000 + 100 * 30_000)
+
+    def test_repeater_deployment_cheaper_capex(self):
+        conventional = corridor_cost(CorridorDeployment.conventional(),
+                                     corridor_km=100.0)
+        extended = corridor_cost(CorridorDeployment.with_repeaters(2650.0, 10),
+                                 corridor_km=100.0)
+        assert extended.capex < conventional.capex
+
+    def test_energy_opex_tracks_energy_model(self):
+        assumptions = CostAssumptions()
+        cost = corridor_cost(CorridorDeployment.conventional(), corridor_km=100.0,
+                             horizon_years=1.0, assumptions=assumptions)
+        # 467.2 W/km x 100 km x 8760 h = 409.3 MWh -> x 0.25 EUR/kWh.
+        assert cost.energy_opex == pytest.approx(409_300 * 0.25, rel=0.01)
+
+    def test_solar_mode_buys_pv_but_cuts_energy(self):
+        deployment = CorridorDeployment.with_repeaters(2650.0, 10)
+        sleep = corridor_cost(deployment, OperatingMode.SLEEP, corridor_km=100.0)
+        solar = corridor_cost(deployment, OperatingMode.SOLAR, corridor_km=100.0)
+        assert solar.capex > sleep.capex          # PV systems purchased
+        assert solar.energy_opex < sleep.energy_opex
+
+    def test_total_and_per_km(self):
+        cost = corridor_cost(CorridorDeployment.conventional(), corridor_km=50.0,
+                             horizon_years=10.0)
+        assert cost.total == pytest.approx(cost.capex + cost.opex)
+        assert cost.per_km_per_year == pytest.approx(cost.total / 500.0)
+
+    def test_discounting_reduces_opex(self):
+        plain = corridor_cost(CorridorDeployment.conventional(), corridor_km=10.0,
+                              horizon_years=10.0)
+        discounted = corridor_cost(
+            CorridorDeployment.conventional(), corridor_km=10.0, horizon_years=10.0,
+            assumptions=CostAssumptions(discount_rate=0.05))
+        assert discounted.opex < plain.opex
+        assert discounted.capex == plain.capex
+
+    def test_ten_year_total_favors_repeaters(self):
+        conventional = corridor_cost(CorridorDeployment.conventional(),
+                                     corridor_km=100.0, horizon_years=10.0)
+        extended = corridor_cost(CorridorDeployment.with_repeaters(2650.0, 10),
+                                 OperatingMode.SLEEP, corridor_km=100.0,
+                                 horizon_years=10.0)
+        assert extended.total < conventional.total
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            corridor_cost(CorridorDeployment.conventional(), corridor_km=0.0)
+        with pytest.raises(ConfigurationError):
+            CostAssumptions(energy_price_per_kwh=-1.0)
+        with pytest.raises(ConfigurationError):
+            CostAssumptions(discount_rate=1.5)
+
+
+class TestPayback:
+    def test_green_field_pays_back_immediately(self):
+        # The repeater corridor is cheaper to build AND to run.
+        payback = retrofit_payback_years(CorridorDeployment.with_repeaters(2650.0, 10))
+        assert payback == 0.0
+
+    def test_expensive_repeaters_still_pay_back(self):
+        # A 6x repeater price premium makes the build dearer than the
+        # conventional corridor, but the OPEX savings repay it within years.
+        assumptions = CostAssumptions(repeater_capex=50_000.0,
+                                      donor_capex=50_000.0)
+        payback = retrofit_payback_years(
+            CorridorDeployment.with_repeaters(2650.0, 10), assumptions=assumptions)
+        assert 0.0 < payback < 20.0
+
+    def test_never_pays_back_when_opex_higher(self):
+        # Free energy makes the (higher-maintenance) proposal unpayable.
+        assumptions = CostAssumptions(energy_price_per_kwh=0.0,
+                                      repeater_capex=300_000.0,
+                                      lp_maintenance_per_year=10_000.0)
+        payback = retrofit_payback_years(
+            CorridorDeployment.with_repeaters(2650.0, 10), assumptions=assumptions)
+        assert payback == float("inf")

@@ -1,0 +1,85 @@
+"""Tests for the EMF compliance substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import constants
+from repro.emf.compliance import (
+    EmfLimit,
+    ICNIRP_GENERAL_PUBLIC,
+    STRICT_INSTALLATION_LIMITS,
+    compliance_distance_m,
+    field_strength_v_m,
+    node_compliance,
+    power_density_w_m2,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPowerDensity:
+    def test_known_value(self):
+        # 2500 W EIRP at 10 m: 2500 / (4 pi 100) = 1.99 W/m².
+        assert power_density_w_m2(64.0, 10.0) == pytest.approx(2.0, rel=0.01)
+
+    def test_inverse_square(self):
+        assert power_density_w_m2(64.0, 20.0) == pytest.approx(
+            power_density_w_m2(64.0, 10.0) / 4.0)
+
+    def test_field_strength_consistency(self):
+        s = power_density_w_m2(40.0, 5.0)
+        e = field_strength_v_m(40.0, 5.0)
+        assert e**2 / 376.73 == pytest.approx(s, rel=1e-9)
+
+    @given(st.floats(min_value=0.1, max_value=1000.0))
+    def test_density_positive_decreasing(self, d):
+        assert power_density_w_m2(64.0, d) > power_density_w_m2(64.0, d * 2)
+
+
+class TestLimits:
+    def test_icnirp_value(self):
+        assert ICNIRP_GENERAL_PUBLIC.equivalent_power_density_w_m2() == 10.0
+
+    def test_switzerland_stricter_than_icnirp(self):
+        ch = STRICT_INSTALLATION_LIMITS["switzerland"]
+        assert ch.equivalent_power_density_w_m2() < 0.2  # 6 V/m ~ 0.0955 W/m²
+
+    def test_limit_requires_a_value(self):
+        with pytest.raises(ConfigurationError):
+            EmfLimit("empty")
+
+    def test_stricter_of_both(self):
+        limit = EmfLimit("both", power_density_w_m2=10.0, field_strength_v_m=6.0)
+        assert limit.equivalent_power_density_w_m2() == pytest.approx(0.0955, abs=0.001)
+
+
+class TestComplianceDistance:
+    def test_hp_icnirp_within_metres(self):
+        d = compliance_distance_m(constants.HP_EIRP_DBM, ICNIRP_GENERAL_PUBLIC)
+        assert 3.0 < d < 6.0  # sqrt(2512/(4 pi 10)) = 4.5 m
+
+    def test_hp_strict_needs_tens_of_metres(self):
+        ch = STRICT_INSTALLATION_LIMITS["switzerland"]
+        d = compliance_distance_m(constants.HP_EIRP_DBM, ch)
+        assert 40.0 < d < 50.0  # the EMF-driven siting problem
+
+    def test_lp_strict_within_metres(self):
+        # The repeater story: 40 dBm complies within ~3 m even in Switzerland.
+        ch = STRICT_INSTALLATION_LIMITS["switzerland"]
+        d = compliance_distance_m(constants.LP_EIRP_DBM, ch)
+        assert d < 3.5
+
+    def test_distance_at_limit_boundary(self):
+        limit = EmfLimit("x", power_density_w_m2=1.0)
+        d = compliance_distance_m(40.0, limit)
+        assert power_density_w_m2(40.0, d) == pytest.approx(1.0, rel=1e-6)
+
+    def test_node_compliance_summary(self):
+        hp = node_compliance(constants.HP_EIRP_DBM)
+        lp = node_compliance(constants.LP_EIRP_DBM)
+        assert set(hp.distances_m) == {"icnirp", "switzerland", "italy", "poland"}
+        assert hp.worst_case_m() > 10 * lp.worst_case_m()
+
+    def test_custom_limits(self):
+        result = node_compliance(40.0, {"only": EmfLimit("only", power_density_w_m2=1.0)})
+        assert list(result.distances_m) == ["only"]

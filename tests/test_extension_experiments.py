@@ -1,0 +1,144 @@
+"""Tests for the extension experiments (EMF, uplink, traversal, economics,
+robustness, lifetime) and their registry entries."""
+
+import pytest
+
+from repro.experiments.extensions import (
+    run_economics,
+    run_emf,
+    run_lifetime,
+    run_robustness,
+    run_traversal,
+    run_uplink,
+)
+from repro.experiments.runner import ALL_EXPERIMENTS, run_experiment
+
+
+class TestEmfExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_emf()
+
+    def test_hp_needs_tens_of_metres_under_strict_limits(self, result):
+        assert result.hp["switzerland"] > 40.0
+        assert result.hp["icnirp"] < 6.0
+
+    def test_lp_mountable_anywhere(self, result):
+        # The paper's implicit EMF argument for the repeaters.
+        assert all(d < 3.5 for d in result.lp.values())
+
+    def test_table_and_series(self, result):
+        assert "EMF" in result.table()
+        series = result.series()
+        assert len(series["regime"]) == len(series["hp_distance_m"])
+
+
+class TestUplinkExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_uplink(resolution_m=5.0)
+
+    def test_all_operating_points_close(self, result):
+        for n, isd, ul, _ in result.rows:
+            assert ul > 0.0, f"uplink does not close at N={n}, ISD={isd}"
+
+    def test_downlink_stronger_than_uplink(self, result):
+        for _, _, ul, dl in result.rows:
+            assert dl > ul
+
+
+class TestTraversalExperiment:
+    def test_capacity_per_km_uniform(self):
+        result = run_traversal()
+        per_km = [r[3] for r in result.rows]
+        # "maintaining the same data capacity": within a few percent per km.
+        assert max(per_km) / min(per_km) < 1.05
+
+    def test_longer_segment_more_volume(self):
+        result = run_traversal()
+        volumes = {r[0]: r[2] for r in result.rows}
+        assert volumes["N=10 @ 2650 m"] > volumes["conventional 500 m"]
+
+
+class TestEconomicsExperiment:
+    def test_repeaters_cheaper_over_ten_years(self):
+        result = run_economics()
+        totals = {r[0]: r[4] for r in result.rows}
+        assert totals["repeaters, sleep"] < totals["conventional"]
+        assert totals["repeaters, solar"] < totals["conventional"]
+
+    def test_solar_trades_capex_for_opex(self):
+        result = run_economics()
+        rows = {r[0]: r for r in result.rows}
+        assert rows["repeaters, solar"][1] > rows["repeaters, sleep"][1]   # CAPEX
+        assert rows["repeaters, solar"][2] < rows["repeaters, sleep"][2]   # energy
+
+
+class TestRobustnessExperiment:
+    def test_registered_isds_are_fragile(self):
+        # The registered maxima have no margin: real shadowing breaks them.
+        result = run_robustness(sigma_db=4.0, trials=30, counts=(1, 10))
+        for _, _, outage in result.rows:
+            assert outage > 0.3
+
+    def test_mild_shadowing_less_outage(self):
+        harsh = run_robustness(sigma_db=6.0, trials=30, counts=(1,))
+        mild = run_robustness(sigma_db=1.0, trials=30, counts=(1,))
+        assert mild.rows[0][2] <= harsh.rows[0][2]
+
+
+class TestLifetimeExperiment:
+    def test_all_locations_reported(self):
+        result = run_lifetime(service_years=3)
+        assert len(result.rows) == 4
+        assert {r[0] for r in result.rows} == {"Madrid", "Lyon", "Vienna", "Berlin"}
+
+    def test_madrid_robust_over_life(self):
+        result = run_lifetime(service_years=5)
+        outcome = {r[0]: r[3] for r in result.rows}
+        assert outcome["Madrid"] == "zero downtime"
+
+
+class TestDemandExperiment:
+    def test_chi_ordering(self):
+        from repro.experiments.extensions import run_demand
+        result = run_demand()
+        chis = [r[1] for r in result.rows]
+        assert chis[0] == 1.0                    # full buffer
+        assert chis[0] > chis[1] > chis[2]       # demand lowers chi
+
+    def test_power_tracks_chi(self):
+        from repro.experiments.extensions import run_demand
+        result = run_demand()
+        hp_powers = [r[2] for r in result.rows]
+        assert hp_powers[0] > hp_powers[1] > hp_powers[2]
+
+
+class TestCellBorderExperiment:
+    def test_border_dip(self):
+        from repro.experiments.extensions import run_cell_border
+        result = run_cell_border()
+        assert abs(result.border_sinr_db) < 0.2
+        assert result.outage_span_10db_m < result.outage_span_29db_m
+
+    def test_peak_unreachable_near_reuse1_border(self):
+        # The key planning finding: 29 dB SIR is unattainable for a long
+        # stretch around a same-carrier border.
+        from repro.experiments.extensions import run_cell_border
+        result = run_cell_border()
+        assert result.outage_span_29db_m > 500.0
+
+
+class TestRegistry:
+    def test_extensions_registered(self):
+        for eid in ("ext-emf", "ext-uplink", "ext-traversal", "ext-econ",
+                    "ext-robust", "ext-lifetime", "ext-demand", "ext-border"):
+            assert eid in ALL_EXPERIMENTS
+
+    def test_run_via_registry_with_csv(self, tmp_path):
+        run_experiment("ext-emf", output_dir=tmp_path)
+        assert (tmp_path / "ext-emf.csv").exists()
+
+    def test_border_experiment_via_registry(self, tmp_path):
+        run_experiment("ext-border", output_dir=tmp_path)
+        assert (tmp_path / "ext-border.csv").exists()

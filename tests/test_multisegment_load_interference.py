@@ -1,0 +1,157 @@
+"""Tests for multi-segment line plans, demand-driven load, border interference."""
+
+import numpy as np
+import pytest
+
+from repro.corridor.layout import CorridorLayout
+from repro.corridor.multisegment import LinePlan, LineSection
+from repro.energy.scenario import OperatingMode
+from repro.errors import ConfigurationError, GeometryError
+from repro.power.profiles import LP_REPEATER_PROFILE
+from repro.radio.interference import cell_border_sinr, peak_outage_span_m
+from repro.traffic.loadmodel import (
+    DemandModel,
+    average_power_with_demand_w,
+    demand_load_fraction,
+)
+
+
+class TestLinePlan:
+    def _plan(self):
+        open_layout = CorridorLayout.with_uniform_repeaters(2650.0, 10)
+        return LinePlan(sections=(
+            LineSection("approach", CorridorLayout.conventional(), 3.0),
+            LineSection("open", open_layout, 50.0),
+            LineSection("terminal", CorridorLayout.conventional(), 2.0),
+        ))
+
+    def test_length(self):
+        assert self._plan().length_km == pytest.approx(55.0)
+
+    def test_average_between_extremes(self):
+        plan = self._plan()
+        avg = plan.average_w_per_km()
+        assert 120.0 < avg < 467.2  # between pure repeater and pure conventional
+
+    def test_savings_positive_but_below_pure(self):
+        plan = self._plan()
+        savings = plan.savings_vs_conventional()
+        assert 0.0 < savings < 0.743  # diluted by the station zones
+
+    def test_equipment_counts(self):
+        plan = self._plan()
+        counts = plan.equipment_counts()
+        # 3 km + 2 km conventional at 500 m -> 6 + 4 masts; 50 km at 2650 m -> 19.
+        assert counts["hp_masts"] == 6 + 19 + 4
+        assert counts["service_nodes"] == 19 * 10
+        assert counts["donor_nodes"] == 19 * 2
+
+    def test_annual_energy(self):
+        plan = self._plan()
+        expected = plan.total_average_power_w() * 8760 / 1e6
+        assert plan.annual_energy_mwh() == pytest.approx(expected)
+
+    def test_mixed_line_builder(self):
+        plan = LinePlan.mixed_line(open_track_km=100.0, station_zones=3)
+        assert plan.length_km == pytest.approx(106.0)
+        names = [s.name for s in plan.sections]
+        assert names == ["open/0", "station/0", "open/1", "station/1",
+                         "open/2", "station/2", "open/3"]
+
+    def test_mixed_line_saves_energy(self):
+        plan = LinePlan.mixed_line(open_track_km=100.0, station_zones=3)
+        assert plan.savings_vs_conventional() > 0.6
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinePlan(sections=())
+
+    def test_duplicate_names_rejected(self):
+        section = LineSection("x", CorridorLayout.conventional(), 1.0)
+        with pytest.raises(ConfigurationError):
+            LinePlan(sections=(section, section))
+
+    def test_zero_length_section_rejected(self):
+        with pytest.raises(GeometryError):
+            LineSection("x", CorridorLayout.conventional(), 0.0)
+
+    def test_per_section_modes(self):
+        open_layout = CorridorLayout.with_uniform_repeaters(2650.0, 10)
+        sleep = LinePlan(sections=(
+            LineSection("a", open_layout, 10.0, OperatingMode.SLEEP),))
+        solar = LinePlan(sections=(
+            LineSection("a", open_layout, 10.0, OperatingMode.SOLAR),))
+        assert solar.total_average_power_w() < sleep.total_average_power_w()
+
+
+class TestDemandModel:
+    def test_default_offered_load(self):
+        # 800 x 0.6 x 0.33 x 2 Mbit/s = 316.8 Mbit/s.
+        assert DemandModel().offered_bps == pytest.approx(316.8e6)
+
+    def test_load_fraction_default(self):
+        # 316.8 / 584 = 0.5425.
+        assert demand_load_fraction() == pytest.approx(0.5425, abs=0.001)
+
+    def test_saturates_at_one(self):
+        heavy = DemandModel(rate_per_active_bps=20e6)
+        assert demand_load_fraction(heavy) == 1.0
+
+    def test_empty_train_zero_load(self):
+        empty = DemandModel(occupancy=0.0)
+        assert demand_load_fraction(empty) == 0.0
+
+    def test_partial_load_cuts_average_power(self):
+        model = LP_REPEATER_PROFILE.model
+        full = average_power_with_demand_w(
+            200.0, model, DemandModel(rate_per_active_bps=100e6))
+        partial = average_power_with_demand_w(200.0, model, DemandModel())
+        assert partial < full
+        # Paper's full-buffer assumption recovered at chi = 1 (EARTH figure).
+        assert full == pytest.approx(0.019 * model.full_load_w
+                                     + 0.981 * model.p_sleep_w, abs=0.01)
+
+    def test_awake_idle_variant(self):
+        model = LP_REPEATER_PROFILE.model
+        sleeping = average_power_with_demand_w(200.0, model, sleeping=True)
+        awake = average_power_with_demand_w(200.0, model, sleeping=False)
+        assert awake > sleeping
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DemandModel(seats=0)
+        with pytest.raises(ConfigurationError):
+            DemandModel(occupancy=1.5)
+
+
+class TestBorderInterference:
+    def test_border_sinr_near_zero_db(self):
+        # Equal serving and interfering signal at the border: SINR ~ 0 dB.
+        profile = cell_border_sinr()
+        assert abs(profile.border_sinr_db) < 0.2
+
+    def test_sinr_improves_away_from_border(self):
+        profile = cell_border_sinr(span_m=1000.0)
+        assert profile.sinr_db[0] > profile.sinr_db[-1]
+        assert profile.min_sinr_db == profile.border_sinr_db
+
+    def test_interference_only_hurts(self):
+        profile = cell_border_sinr()
+        assert np.all(profile.sinr_db < profile.snr_no_interference_db)
+
+    def test_outage_span_reasonable(self):
+        # Peak throughput needs 29 dB SIR: with the interferer mirrored at the
+        # border, the sub-peak stretch is several hundred metres per side.
+        span = peak_outage_span_m()
+        assert 200.0 < span < 2000.0
+
+    def test_outage_span_shrinks_with_lower_threshold(self):
+        strict = peak_outage_span_m(threshold_db=29.0)
+        lenient = peak_outage_span_m(threshold_db=10.0)
+        assert lenient < strict
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            cell_border_sinr(edge_offset_m=0.0)
+        with pytest.raises(ConfigurationError):
+            cell_border_sinr(span_m=-1.0)

@@ -1,0 +1,152 @@
+"""Tests for the EARTH power model, component bill, and profiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import constants
+from repro.errors import ConfigurationError
+from repro.power.components import ComponentMode, repeater_prototype_bill
+from repro.power.earth_model import EarthPowerModel, PowerState
+from repro.power.profiles import HP_RRH_PROFILE, LP_REPEATER_PROFILE, hp_site_power_w
+
+
+class TestEarthModel:
+    def test_hp_rrh_full_load_280w(self):
+        model = HP_RRH_PROFILE.model
+        assert model.full_load_w == pytest.approx(280.0)
+
+    def test_hp_rrh_no_load(self):
+        assert HP_RRH_PROFILE.model.no_load_w == pytest.approx(168.0)
+
+    def test_hp_rrh_sleep(self):
+        assert HP_RRH_PROFILE.model.state_power_w(PowerState.SLEEP) == pytest.approx(112.0)
+
+    def test_lp_full_load_earth(self):
+        # 24.26 + 4.0 * 1 = 28.26 W (Table II), paper's Table I shows 28.38.
+        assert LP_REPEATER_PROFILE.model.full_load_w == pytest.approx(28.26)
+
+    def test_linear_in_load(self):
+        model = HP_RRH_PROFILE.model
+        half = model.input_power_w(0.5)
+        assert half == pytest.approx((model.full_load_w + model.no_load_w) / 2)
+
+    def test_sleeping_power(self):
+        model = HP_RRH_PROFILE.model
+        assert model.input_power_w(0.0, sleeping=True) == pytest.approx(112.0)
+
+    def test_sleeping_with_load_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HP_RRH_PROFILE.model.input_power_w(0.5, sleeping=True)
+
+    def test_load_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HP_RRH_PROFILE.model.input_power_w(1.5)
+        with pytest.raises(ConfigurationError):
+            HP_RRH_PROFILE.model.input_power_w(-0.1)
+
+    def test_array_load(self):
+        model = HP_RRH_PROFILE.model
+        out = model.input_power_w(np.array([0.0, 0.5, 1.0]))
+        assert out[0] == pytest.approx(168.0)
+        assert out[2] == pytest.approx(280.0)
+
+    def test_average_power_pure_states(self):
+        model = HP_RRH_PROFILE.model
+        assert model.average_power_w(1.0) == pytest.approx(280.0)
+        assert model.average_power_w(0.0, sleep_fraction=1.0) == pytest.approx(112.0)
+        assert model.average_power_w(0.0, sleep_fraction=0.0) == pytest.approx(168.0)
+
+    def test_average_power_paper_duty(self):
+        # 2.85 % full load + 97.15 % sleep -> the conventional RRH average.
+        model = HP_RRH_PROFILE.model
+        avg = model.average_power_w(0.0285, sleep_fraction=0.9715)
+        assert avg == pytest.approx(116.8, abs=0.1)
+
+    def test_average_power_rejects_over_100pct(self):
+        with pytest.raises(ConfigurationError):
+            HP_RRH_PROFILE.model.average_power_w(0.7, sleep_fraction=0.5)
+
+    def test_rejects_sleep_above_p0(self):
+        with pytest.raises(ConfigurationError):
+            EarthPowerModel(p_max_w=1.0, p0_w=10.0, delta_p=1.0, p_sleep_w=11.0)
+
+    def test_rejects_nonpositive_params(self):
+        with pytest.raises(ConfigurationError):
+            EarthPowerModel(p_max_w=0.0, p0_w=10.0, delta_p=1.0, p_sleep_w=1.0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_power_between_no_load_and_full(self, chi):
+        model = LP_REPEATER_PROFILE.model
+        p = model.input_power_w(chi)
+        assert model.no_load_w - 1e-9 <= p <= model.full_load_w + 1e-9
+
+    @given(st.floats(min_value=0.0, max_value=0.5), st.floats(min_value=0.0, max_value=0.5))
+    def test_average_power_bounds(self, full, sleep):
+        model = LP_REPEATER_PROFILE.model
+        avg = model.average_power_w(full, sleep)
+        assert model.p_sleep_w - 1e-9 <= avg <= model.full_load_w + 1e-9
+
+
+class TestComponentBill:
+    def test_sleep_total_4_72(self):
+        # Table I last column: 2 + 2.22 + 0.5 = 4.72 W.
+        assert repeater_prototype_bill().sleep_w() == pytest.approx(4.72)
+
+    def test_no_load_total_24_26(self):
+        # Matches Table II's P0 exactly by construction of the PA quiescent.
+        assert repeater_prototype_bill().no_load_w() == pytest.approx(24.26, abs=0.01)
+
+    def test_full_load_simultaneous_31_9(self):
+        assert repeater_prototype_bill().full_load_simultaneous_w() == pytest.approx(31.9, abs=0.05)
+
+    def test_full_load_tdd_near_paper_value(self):
+        bill = repeater_prototype_bill()
+        assert bill.full_load_tdd_w() == pytest.approx(
+            constants.LP_REPEATER_FULL_LOAD_W, abs=0.4)
+
+    def test_tdd_direction_symmetric_totals(self):
+        bill = repeater_prototype_bill()
+        dl = bill.full_load_tdd_w(downlink_active=True)
+        ul = bill.full_load_tdd_w(downlink_active=False)
+        # DL and UL paths differ slightly in LNA power only.
+        assert dl == pytest.approx(ul, abs=1.2)
+
+    def test_orderings(self):
+        bill = repeater_prototype_bill()
+        assert bill.sleep_w() < bill.no_load_w() < bill.full_load_tdd_w() \
+            <= bill.full_load_simultaneous_w()
+
+    def test_component_modes_present(self):
+        bill = repeater_prototype_bill()
+        assert bill.by_mode(ComponentMode.COMMON)
+        assert bill.by_mode(ComponentMode.DOWNLINK)
+        assert bill.by_mode(ComponentMode.UPLINK)
+
+    def test_common_sleep_only_controller_docxo_lo(self):
+        bill = repeater_prototype_bill()
+        sleepers = [c for c in bill.components if c.total_sleep_w() > 0]
+        assert sorted(c.name for c in sleepers) == [
+            "Controller", "GNSS DOCXO", "Local Oscillator"]
+
+    def test_dl_ul_paths_doubled(self):
+        bill = repeater_prototype_bill()
+        for comp in bill.by_mode(ComponentMode.DOWNLINK):
+            assert comp.count == 2
+        for comp in bill.by_mode(ComponentMode.UPLINK):
+            assert comp.count == 2
+
+
+class TestProfilesAndSite:
+    def test_site_powers(self):
+        assert hp_site_power_w(PowerState.FULL_LOAD) == pytest.approx(560.0)
+        assert hp_site_power_w(PowerState.NO_LOAD) == pytest.approx(336.0)
+        assert hp_site_power_w(PowerState.SLEEP) == pytest.approx(224.0)
+
+    def test_site_rejects_zero_rrh(self):
+        with pytest.raises(ConfigurationError):
+            hp_site_power_w(PowerState.SLEEP, rrh_per_mast=0)
+
+    def test_profile_names(self):
+        assert "High-Power" in HP_RRH_PROFILE.name
+        assert "Low-Power" in LP_REPEATER_PROFILE.name

@@ -1,0 +1,86 @@
+"""Tests for the calibrated Friis attenuation (Eq. 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import constants
+from repro.errors import ConfigurationError
+from repro.propagation.friis import (
+    CalibratedFriis,
+    free_space_path_loss_db,
+    friis_constant_db,
+)
+
+
+class TestFriisConstant:
+    def test_3_5_ghz_value(self):
+        # 20 log10(4 pi / lambda) at 3.5 GHz.
+        assert friis_constant_db(3.5e9) == pytest.approx(43.33, abs=0.02)
+
+    def test_doubling_frequency_adds_6db(self):
+        assert friis_constant_db(7.0e9) - friis_constant_db(3.5e9) == pytest.approx(
+            6.02, abs=0.01)
+
+
+class TestFreeSpacePathLoss:
+    def test_known_value_100m(self):
+        # FSPL(100 m, 3.5 GHz) = 43.33 + 40 = 83.33 dB
+        assert free_space_path_loss_db(100.0, 3.5e9) == pytest.approx(83.33, abs=0.05)
+
+    def test_distance_clamped_below_1m(self):
+        assert free_space_path_loss_db(0.001, 3.5e9) == free_space_path_loss_db(1.0, 3.5e9)
+
+    def test_inverse_square_law(self):
+        l1 = free_space_path_loss_db(200.0, 3.5e9)
+        l2 = free_space_path_loss_db(400.0, 3.5e9)
+        assert l2 - l1 == pytest.approx(6.02, abs=0.01)
+
+    def test_array_input(self):
+        out = free_space_path_loss_db(np.array([10.0, 100.0, 1000.0]), 3.5e9)
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) > 0)
+
+    @given(st.floats(min_value=1.0, max_value=1e5),
+           st.floats(min_value=2.0, max_value=4.0))
+    def test_monotone_in_distance(self, d, factor):
+        assert free_space_path_loss_db(d * factor, 3.5e9) > free_space_path_loss_db(d, 3.5e9)
+
+
+class TestCalibratedFriis:
+    def test_adds_calibration(self):
+        plain = CalibratedFriis(3.5e9, 0.0)
+        calibrated = CalibratedFriis(3.5e9, constants.HP_CALIBRATION_DB)
+        assert calibrated.attenuation_db(500.0) - plain.attenuation_db(500.0) == pytest.approx(33.0)
+
+    def test_received_power(self):
+        model = CalibratedFriis(3.5e9, 33.0)
+        rstp = 28.81  # HP per-subcarrier RSTP
+        rx = model.received_power_dbm(rstp, 250.0)
+        # Matches the hand calculation used to validate the model.
+        assert rx == pytest.approx(-95.5, abs=0.3)
+
+    def test_attenuation_linear_matches_db(self):
+        model = CalibratedFriis(3.5e9, 20.0)
+        att_db = model.attenuation_db(777.0)
+        assert 10 * np.log10(model.attenuation_linear(777.0)) == pytest.approx(att_db)
+
+    def test_rejects_negative_calibration(self):
+        with pytest.raises(ConfigurationError):
+            CalibratedFriis(3.5e9, -1.0)
+
+    def test_rejects_zero_frequency(self):
+        with pytest.raises(ConfigurationError):
+            CalibratedFriis(0.0, 33.0)
+
+    def test_vectorized_distances(self):
+        model = CalibratedFriis(3.5e9, 33.0)
+        d = np.linspace(1, 2500, 100)
+        att = model.attenuation_db(d)
+        assert att.shape == d.shape
+        assert np.all(np.diff(att) > 0)
+
+    @given(st.floats(min_value=1.0, max_value=5000.0))
+    def test_attenuation_at_least_free_space(self, d):
+        model = CalibratedFriis(3.5e9, 20.0)
+        assert model.attenuation_db(d) >= free_space_path_loss_db(d, 3.5e9)

@@ -1,0 +1,191 @@
+"""Tests for path-loss model family, penetration loss, fronthaul, fading."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.propagation.fading import LogNormalShadowing
+from repro.propagation.fronthaul import (
+    FronthaulBudget,
+    FronthaulParams,
+    FronthaulTopology,
+)
+from repro.propagation.pathloss import (
+    DualSlopeModel,
+    FreeSpaceModel,
+    LogDistanceModel,
+    PathLossModel,
+)
+from repro.propagation.penetration import (
+    WINDOW_PRESETS,
+    PenetrationLoss,
+    WagonWindowType,
+    effective_calibration_db,
+)
+
+
+class TestPathLossModels:
+    def test_free_space_satisfies_protocol(self):
+        assert isinstance(FreeSpaceModel(3.5e9), PathLossModel)
+
+    def test_log_distance_exponent_2_equals_free_space(self):
+        fs = FreeSpaceModel(3.5e9)
+        ld = LogDistanceModel(3.5e9, exponent=2.0)
+        for d in (10.0, 100.0, 1000.0):
+            assert ld.path_loss_db(d) == pytest.approx(fs.path_loss_db(d), abs=1e-9)
+
+    def test_higher_exponent_more_loss(self):
+        n2 = LogDistanceModel(3.5e9, exponent=2.0)
+        n4 = LogDistanceModel(3.5e9, exponent=4.0)
+        assert n4.path_loss_db(100.0) > n2.path_loss_db(100.0)
+
+    def test_log_distance_custom_reference(self):
+        model = LogDistanceModel(3.5e9, exponent=3.0, reference_m=10.0,
+                                 reference_loss_db=70.0)
+        assert model.path_loss_db(10.0) == pytest.approx(70.0)
+        assert model.path_loss_db(100.0) == pytest.approx(100.0)
+
+    def test_log_distance_rejects_bad_exponent(self):
+        with pytest.raises(ConfigurationError):
+            LogDistanceModel(3.5e9, exponent=0.0)
+
+    def test_dual_slope_continuous_at_breakpoint(self):
+        model = DualSlopeModel(3.5e9, breakpoint_m=300.0)
+        just_below = model.path_loss_db(299.999)
+        just_above = model.path_loss_db(300.001)
+        assert just_above == pytest.approx(just_below, abs=0.01)
+
+    def test_dual_slope_steeper_beyond_breakpoint(self):
+        model = DualSlopeModel(3.5e9, breakpoint_m=300.0, exponent_near=2.0,
+                               exponent_far=4.0)
+        delta_near = model.path_loss_db(200.0) - model.path_loss_db(100.0)
+        delta_far = model.path_loss_db(1200.0) - model.path_loss_db(600.0)
+        assert delta_near == pytest.approx(6.02, abs=0.05)
+        assert delta_far == pytest.approx(12.04, abs=0.05)
+
+    def test_dual_slope_rejects_bad_breakpoint(self):
+        with pytest.raises(ConfigurationError):
+            DualSlopeModel(3.5e9, breakpoint_m=0.0)
+
+
+class TestPenetration:
+    def test_coated_worse_than_uncoated(self):
+        coated = WINDOW_PRESETS[WagonWindowType.COATED_LOW_E].loss_db(3.5e9)
+        uncoated = WINDOW_PRESETS[WagonWindowType.UNCOATED].loss_db(3.5e9)
+        assert coated > uncoated + 15.0
+
+    def test_fss_recovers_most_of_uncoated(self):
+        fss = WINDOW_PRESETS[WagonWindowType.FSS_TREATED].loss_db(3.5e9)
+        coated = WINDOW_PRESETS[WagonWindowType.COATED_LOW_E].loss_db(3.5e9)
+        assert fss < coated - 10.0
+
+    def test_loss_grows_with_frequency(self):
+        preset = WINDOW_PRESETS[WagonWindowType.COATED_LOW_E]
+        assert preset.loss_db(6.0e9) > preset.loss_db(2.0e9)
+
+    def test_loss_clamped_at_zero(self):
+        model = PenetrationLoss(loss_at_ref_db=1.0, slope_db_per_octave=2.0)
+        assert model.loss_db(1e8) == 0.0
+
+    def test_rejects_negative_loss(self):
+        with pytest.raises(ConfigurationError):
+            PenetrationLoss(loss_at_ref_db=-5.0)
+
+    def test_rejects_zero_frequency_query(self):
+        with pytest.raises(ConfigurationError):
+            PenetrationLoss(5.0).loss_db(0.0)
+
+    def test_effective_calibration_coated_is_harsher(self):
+        base = 33.0
+        coated = effective_calibration_db(base, WagonWindowType.COATED_LOW_E, 3.5e9)
+        assert coated > base
+
+    def test_effective_calibration_identity_for_treated(self):
+        base = 33.0
+        same = effective_calibration_db(base, WagonWindowType.FSS_TREATED, 3.5e9)
+        assert same == pytest.approx(base)
+
+
+class TestFronthaul:
+    def test_snr_at_reference(self):
+        budget = FronthaulBudget(FronthaulParams(snr_at_1km_db=33.0))
+        assert 10 * np.log10(budget.snr_linear_at(1000.0)) == pytest.approx(33.0)
+
+    def test_snr_inverse_square(self):
+        budget = FronthaulBudget(FronthaulParams(snr_at_1km_db=33.0))
+        assert 10 * np.log10(budget.snr_linear_at(500.0)) == pytest.approx(39.02, abs=0.01)
+
+    def test_star_output_equals_direct(self):
+        budget = FronthaulBudget(FronthaulParams(snr_at_1km_db=30.0))
+        direct = budget.snr_linear_at([400.0, 800.0])
+        out = budget.output_snr_linear([400.0, 800.0])
+        assert np.allclose(direct, out)
+
+    def test_chain_accumulates_noise(self):
+        params = FronthaulParams(snr_at_1km_db=33.0, topology=FronthaulTopology.CHAIN)
+        budget = FronthaulBudget(params)
+        one_hop = budget.chain_output_snr_linear([500.0], [0], 200.0)
+        three_hops = budget.chain_output_snr_linear([500.0], [2], 200.0)
+        assert three_hops[0] < one_hop[0]
+
+    def test_chain_rejects_negative_hops(self):
+        budget = FronthaulBudget(FronthaulParams(topology=FronthaulTopology.CHAIN))
+        with pytest.raises(ConfigurationError):
+            budget.chain_output_snr_linear([500.0], [-1], 200.0)
+
+    def test_star_refuses_chain_api_mix(self):
+        params = FronthaulParams(topology=FronthaulTopology.CHAIN)
+        with pytest.raises(ConfigurationError):
+            FronthaulBudget(params).output_snr_linear([100.0])
+
+    def test_rejects_sub6_fronthaul(self):
+        with pytest.raises(ConfigurationError):
+            FronthaulParams(mmwave_frequency_hz=3.5e9)
+
+    @given(st.floats(min_value=10.0, max_value=5000.0))
+    def test_snr_decreases_with_distance(self, d):
+        budget = FronthaulBudget(FronthaulParams(snr_at_1km_db=33.0))
+        assert budget.snr_linear_at(d * 2) < budget.snr_linear_at(d)
+
+
+class TestShadowing:
+    def test_zero_sigma_gives_zeros(self):
+        model = LogNormalShadowing(sigma_db=0.0)
+        rng = np.random.default_rng(1)
+        out = model.sample(np.arange(0.0, 100.0, 10.0), rng)
+        assert np.all(out == 0.0)
+
+    def test_deterministic_given_seed(self):
+        model = LogNormalShadowing(sigma_db=4.0)
+        pos = np.arange(0.0, 500.0, 5.0)
+        a = model.sample(pos, np.random.default_rng(7))
+        b = model.sample(pos, np.random.default_rng(7))
+        assert np.allclose(a, b)
+
+    def test_empirical_std_close_to_sigma(self):
+        model = LogNormalShadowing(sigma_db=4.0, decorrelation_m=50.0)
+        rng = np.random.default_rng(0)
+        samples = np.concatenate([
+            model.sample(np.arange(0.0, 2000.0, 10.0), rng) for _ in range(30)])
+        assert np.std(samples) == pytest.approx(4.0, rel=0.15)
+
+    def test_correlation_decays(self):
+        model = LogNormalShadowing(sigma_db=4.0, decorrelation_m=50.0)
+        rng = np.random.default_rng(3)
+        traces = np.array([model.sample(np.array([0.0, 10.0, 500.0]), rng)
+                           for _ in range(4000)])
+        corr_near = np.corrcoef(traces[:, 0], traces[:, 1])[0, 1]
+        corr_far = np.corrcoef(traces[:, 0], traces[:, 2])[0, 1]
+        assert corr_near > 0.7
+        assert abs(corr_far) < 0.1
+
+    def test_rejects_unsorted_positions(self):
+        model = LogNormalShadowing()
+        with pytest.raises(ConfigurationError):
+            model.sample(np.array([10.0, 5.0]), np.random.default_rng(0))
+
+    def test_rejects_empty_positions(self):
+        model = LogNormalShadowing()
+        with pytest.raises(ConfigurationError):
+            model.sample(np.array([]), np.random.default_rng(0))

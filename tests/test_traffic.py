@@ -1,0 +1,182 @@
+"""Tests for the train traffic substrate: trains, timetables, occupancy."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.traffic.occupancy import (
+    average_power_w,
+    duty_cycle,
+    full_load_seconds_per_train,
+    occupancy_seconds_per_day,
+    trains_per_day,
+)
+from repro.traffic.timetable import Timetable, TrainRun, generate_timetable
+from repro.traffic.trains import TrafficParams, Train
+
+
+class TestTrain:
+    def test_default_speed(self):
+        assert Train().speed_ms == pytest.approx(55.5556, rel=1e-4)
+
+    def test_occupancy_500m(self):
+        # (500 + 400) / 55.56 = 16.2 s — the paper's lower bound.
+        assert Train().occupancy_seconds(500.0) == pytest.approx(16.2, abs=0.01)
+
+    def test_occupancy_2650m(self):
+        # (2650 + 400) / 55.56 = 54.9 s — the paper's upper bound.
+        assert Train().occupancy_seconds(2650.0) == pytest.approx(54.9, abs=0.01)
+
+    def test_zero_section(self):
+        # A point section is occupied for the train's own pass-by time.
+        assert Train().occupancy_seconds(0.0) == pytest.approx(7.2, abs=0.01)
+
+    def test_rejects_negative_section(self):
+        with pytest.raises(ConfigurationError):
+            Train().occupancy_seconds(-1.0)
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ConfigurationError):
+            Train(length_m=0.0)
+
+
+class TestTrafficParams:
+    def test_service_hours(self):
+        assert TrafficParams().service_hours == 19.0
+
+    def test_trains_per_day_152(self):
+        assert TrafficParams().trains_per_day == 152.0
+
+    def test_headway(self):
+        assert TrafficParams().headway_s == 450.0
+
+    def test_zero_traffic(self):
+        params = TrafficParams(trains_per_hour=0.0)
+        assert params.headway_s == float("inf")
+        assert params.trains_per_day == 0.0
+
+    def test_rejects_bad_night(self):
+        with pytest.raises(ConfigurationError):
+            TrafficParams(night_quiet_hours=25.0)
+
+
+class TestOccupancy:
+    def test_duty_500m_is_2_85pct(self):
+        assert duty_cycle(500.0) == pytest.approx(0.0285, abs=0.0001)
+
+    def test_duty_2650m_is_9_66pct(self):
+        assert duty_cycle(2650.0) == pytest.approx(0.0966, abs=0.0001)
+
+    def test_duty_200m_lp_section(self):
+        assert duty_cycle(200.0) == pytest.approx(0.019, abs=0.0001)
+
+    def test_daily_seconds(self):
+        assert occupancy_seconds_per_day(500.0) == pytest.approx(2462.4, abs=0.5)
+
+    def test_trains_per_day_helper(self):
+        assert trains_per_day() == 152.0
+
+    def test_overlapping_sections_rejected(self):
+        # A section so long one train hasn't left before the next arrives.
+        with pytest.raises(ConfigurationError):
+            occupancy_seconds_per_day(30_000.0)
+
+    def test_average_power_lp_sleeping_5_17w(self):
+        avg = average_power_w(200.0, full_load_w=28.38, inactive_w=4.72)
+        assert avg == pytest.approx(5.17, abs=0.005)
+
+    def test_average_power_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            average_power_w(200.0, full_load_w=-1.0, inactive_w=0.0)
+
+    @given(st.floats(min_value=0.0, max_value=5000.0))
+    def test_duty_monotone_in_section(self, section):
+        assert duty_cycle(section + 100.0) > duty_cycle(section)
+
+    @given(st.floats(min_value=0.0, max_value=5000.0))
+    def test_duty_in_unit_interval(self, section):
+        assert 0.0 < duty_cycle(section) < 1.0
+
+
+class TestTimetable:
+    def test_deterministic_count(self):
+        tt = generate_timetable()
+        # 8 trains/h for 19 h = 152 runs.
+        assert len(tt) == 152
+
+    def test_night_gap_respected(self):
+        tt = generate_timetable()
+        assert min(r.t0_s for r in tt) >= 5 * 3600.0
+
+    def test_directions_alternate(self):
+        tt = generate_timetable()
+        directions = [r.direction for r in tt]
+        assert set(directions) == {1, -1}
+        assert directions[0] != directions[1]
+
+    def test_multi_day(self):
+        tt = generate_timetable(days=2)
+        assert len(tt) == 304
+        assert tt.horizon_s == pytest.approx(2 * 86400.0)
+
+    def test_stochastic_reproducible(self):
+        a = generate_timetable(stochastic=True, seed=42)
+        b = generate_timetable(stochastic=True, seed=42)
+        assert [r.t0_s for r in a] == [r.t0_s for r in b]
+
+    def test_stochastic_rate_close_to_deterministic(self):
+        tt = generate_timetable(stochastic=True, seed=0, days=20)
+        assert len(tt) == pytest.approx(152 * 20, rel=0.1)
+
+    def test_stochastic_respects_night(self):
+        tt = generate_timetable(stochastic=True, seed=1)
+        for run in tt:
+            assert (run.t0_s % 86400.0) >= 5 * 3600.0
+
+    def test_zero_traffic_empty(self):
+        tt = generate_timetable(TrafficParams(trains_per_hour=0.0))
+        assert len(tt) == 0
+
+    def test_rejects_zero_days(self):
+        with pytest.raises(ConfigurationError):
+            generate_timetable(days=0.0)
+
+    def test_unsorted_runs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Timetable(runs=(TrainRun(t0_s=100.0), TrainRun(t0_s=50.0)))
+
+
+class TestTrainRun:
+    def test_forward_interval(self):
+        run = TrainRun(t0_s=0.0)
+        enter, exit_ = run.interval_over(500.0, 700.0, 2400.0)
+        v = run.train.speed_ms
+        assert enter == pytest.approx(500.0 / v)
+        assert exit_ == pytest.approx((700.0 + 400.0) / v)
+
+    def test_reverse_interval(self):
+        run = TrainRun(t0_s=0.0, direction=-1)
+        enter, exit_ = run.interval_over(500.0, 700.0, 2400.0)
+        v = run.train.speed_ms
+        assert enter == pytest.approx((2400.0 - 700.0) / v)
+        assert exit_ == pytest.approx((2400.0 - 500.0 + 400.0) / v)
+
+    def test_occupancy_duration_direction_independent(self):
+        fwd = TrainRun(t0_s=0.0, direction=1)
+        rev = TrainRun(t0_s=0.0, direction=-1)
+        f_enter, f_exit = fwd.interval_over(100.0, 300.0, 1000.0)
+        r_enter, r_exit = rev.interval_over(100.0, 300.0, 1000.0)
+        assert f_exit - f_enter == pytest.approx(r_exit - r_enter)
+
+    def test_nose_position(self):
+        run = TrainRun(t0_s=10.0)
+        assert run.nose_position_m(10.0, 2400.0) == 0.0
+        assert run.nose_position_m(20.0, 2400.0) == pytest.approx(555.56, abs=0.1)
+
+    def test_rejects_bad_direction(self):
+        with pytest.raises(ConfigurationError):
+            TrainRun(t0_s=0.0, direction=0)
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(ConfigurationError):
+            TrainRun(t0_s=0.0).interval_over(700.0, 500.0, 2400.0)

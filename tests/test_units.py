@@ -1,0 +1,127 @@
+"""Unit-conversion tests, including property-based round-trips."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestDbLinear:
+    def test_zero_db_is_unity(self):
+        assert units.db_to_linear(0.0) == pytest.approx(1.0)
+
+    def test_ten_db_is_ten(self):
+        assert units.db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_three_db_is_about_two(self):
+        assert units.db_to_linear(3.0103) == pytest.approx(2.0, rel=1e-4)
+
+    def test_negative_db(self):
+        assert units.db_to_linear(-10.0) == pytest.approx(0.1)
+
+    def test_linear_to_db_unity(self):
+        assert units.linear_to_db(1.0) == pytest.approx(0.0)
+
+    def test_linear_to_db_rejects_zero(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(0.0)
+
+    def test_linear_to_db_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.linear_to_db(-1.0)
+
+    def test_array_conversion(self):
+        out = units.db_to_linear(np.array([0.0, 10.0, 20.0]))
+        assert np.allclose(out, [1.0, 10.0, 100.0])
+
+    @given(st.floats(min_value=-200.0, max_value=200.0))
+    def test_round_trip_db(self, value_db):
+        assert units.linear_to_db(units.db_to_linear(value_db)) == pytest.approx(
+            value_db, abs=1e-9)
+
+    @given(st.floats(min_value=1e-12, max_value=1e12))
+    def test_round_trip_linear(self, ratio):
+        assert units.db_to_linear(units.linear_to_db(ratio)) == pytest.approx(
+            ratio, rel=1e-9)
+
+
+class TestDbmWatt:
+    def test_zero_dbm_is_one_mw(self):
+        assert units.dbm_to_mw(0.0) == pytest.approx(1.0)
+
+    def test_30_dbm_is_one_watt(self):
+        assert units.dbm_to_w(30.0) == pytest.approx(1.0)
+
+    def test_64_dbm_is_2500_w(self):
+        # The paper's HP EIRP.
+        assert units.dbm_to_w(64.0) == pytest.approx(2512.0, rel=1e-3)
+
+    def test_40_dbm_is_10_w(self):
+        # The paper's LP EIRP.
+        assert units.dbm_to_w(40.0) == pytest.approx(10.0)
+
+    def test_w_to_dbm(self):
+        assert units.w_to_dbm(1.0) == pytest.approx(30.0)
+
+    def test_w_to_dbm_rejects_zero(self):
+        with pytest.raises(ValueError):
+            units.w_to_dbm(0.0)
+
+    @given(st.floats(min_value=-100.0, max_value=100.0))
+    def test_round_trip_dbm(self, dbm):
+        assert units.w_to_dbm(units.dbm_to_w(dbm)) == pytest.approx(dbm, abs=1e-9)
+
+
+class TestWavelength:
+    def test_3_5_ghz(self):
+        assert units.wavelength_m(3.5e9) == pytest.approx(0.08565, rel=1e-3)
+
+    def test_rejects_zero_frequency(self):
+        with pytest.raises(ValueError):
+            units.wavelength_m(0.0)
+
+    def test_rejects_negative_frequency(self):
+        with pytest.raises(ValueError):
+            units.wavelength_m(-1e9)
+
+    @given(st.floats(min_value=1e6, max_value=1e12))
+    def test_wavelength_positive_and_decreasing(self, f):
+        lam = units.wavelength_m(f)
+        assert lam > 0
+        assert units.wavelength_m(2 * f) == pytest.approx(lam / 2)
+
+
+class TestPowerSum:
+    def test_two_equal_powers_add_3db(self):
+        assert units.sum_powers_dbm(0.0, 0.0) == pytest.approx(3.0103, abs=1e-3)
+
+    def test_dominant_power_wins(self):
+        assert units.sum_powers_dbm(0.0, -40.0) == pytest.approx(0.00043, abs=1e-3)
+
+    def test_empty_sum_rejected(self):
+        with pytest.raises(ValueError):
+            units.sum_powers_dbm()
+
+    def test_single_power_is_identity(self):
+        assert units.sum_powers_dbm(-97.5) == pytest.approx(-97.5)
+
+    @given(st.lists(st.floats(min_value=-120.0, max_value=60.0), min_size=2, max_size=6))
+    def test_sum_exceeds_max_component(self, powers):
+        total = units.sum_powers_dbm(*powers)
+        assert total >= max(powers) - 1e-9
+
+    @given(st.lists(st.floats(min_value=-120.0, max_value=60.0), min_size=2, max_size=6))
+    def test_sum_bounded_by_max_plus_10logn(self, powers):
+        total = units.sum_powers_dbm(*powers)
+        assert total <= max(powers) + 10 * math.log10(len(powers)) + 1e-9
+
+
+class TestSpeed:
+    def test_200_kmh(self):
+        assert units.kmh_to_ms(200.0) == pytest.approx(55.5556, rel=1e-4)
+
+    def test_round_trip(self):
+        assert units.ms_to_kmh(units.kmh_to_ms(123.4)) == pytest.approx(123.4)

@@ -1,0 +1,87 @@
+"""Tests for the uplink link budget."""
+
+import numpy as np
+import pytest
+
+from repro.corridor.layout import CorridorLayout
+from repro.errors import ConfigurationError
+from repro.radio.uplink import (
+    UplinkParams,
+    compute_uplink_profile,
+)
+
+
+class TestUplinkParams:
+    def test_ue_rstp(self):
+        params = UplinkParams()
+        # 23 dBm over 132 subcarriers = 23 - 21.2 = +1.8 dBm/subcarrier.
+        assert params.ue_rstp_dbm == pytest.approx(23.0 - 10 * np.log10(132))
+
+    def test_narrow_allocation_concentrates_power(self):
+        wide = UplinkParams(ul_subcarriers=3300)
+        narrow = UplinkParams(ul_subcarriers=330)
+        assert narrow.ue_rstp_dbm == pytest.approx(wide.ue_rstp_dbm + 10.0)
+
+    def test_rejects_oversized_allocation(self):
+        with pytest.raises(ConfigurationError):
+            UplinkParams(ul_subcarriers=5000)
+
+    def test_rejects_implausible_ue_power(self):
+        with pytest.raises(ConfigurationError):
+            UplinkParams(ue_tx_power_dbm=40.0)
+
+
+class TestUplinkProfile:
+    def test_conventional_uplink_closes(self):
+        layout = CorridorLayout.conventional()
+        profile = compute_uplink_profile(layout)
+        # At 500 m ISD a cell-edge allocation closes with positive SNR.
+        assert profile.min_snr_db > 0.0
+
+    def test_repeaters_lift_uplink(self):
+        layout = CorridorLayout.with_uniform_repeaters(2400.0, 8)
+        with_rep = compute_uplink_profile(layout)
+        without = compute_uplink_profile(CorridorLayout(isd_m=2400.0))
+        assert with_rep.min_snr_db > without.min_snr_db + 5.0
+
+    def test_repeater_snr_peaks_at_nodes(self):
+        layout = CorridorLayout.with_uniform_repeaters(2400.0, 8)
+        profile = compute_uplink_profile(layout, resolution_m=2.0)
+        idx = np.argmax(profile.snr_repeater_db)
+        nearest_node = min(abs(profile.positions_m[idx] - p)
+                           for p in layout.repeater_positions_m)
+        assert nearest_node < 10.0
+
+    def test_best_is_max_of_receivers(self):
+        layout = CorridorLayout.with_uniform_repeaters(1600.0, 3)
+        profile = compute_uplink_profile(layout, resolution_m=5.0)
+        assert np.all(profile.snr_best_db >= profile.snr_hp_db - 1e-12)
+        assert np.all(profile.snr_best_db >= profile.snr_repeater_db - 1e-12)
+
+    def test_no_repeater_means_minus_inf_column(self):
+        profile = compute_uplink_profile(CorridorLayout.conventional())
+        assert np.all(np.isneginf(profile.snr_repeater_db))
+
+    def test_closes_at_threshold(self):
+        layout = CorridorLayout.with_uniform_repeaters(2400.0, 8)
+        profile = compute_uplink_profile(layout, resolution_m=5.0)
+        assert profile.closes_at(profile.min_snr_db - 1.0)
+        assert not profile.closes_at(profile.min_snr_db + 1.0)
+
+    def test_symmetry(self):
+        layout = CorridorLayout.with_uniform_repeaters(2000.0, 4)
+        profile = compute_uplink_profile(layout, resolution_m=1.0)
+        assert np.allclose(profile.snr_best_db, profile.snr_best_db[::-1], atol=0.05)
+
+    def test_rejects_zero_resolution(self):
+        with pytest.raises(ConfigurationError):
+            compute_uplink_profile(CorridorLayout.conventional(), resolution_m=0.0)
+
+    def test_uplink_weaker_than_downlink_budget(self):
+        # The UE's 23 dBm cannot match the 64 dBm HP downlink: for the same
+        # geometry, uplink SNR at the mast is far below downlink SNR at the UE.
+        from repro.radio.link import compute_snr_profile
+        layout = CorridorLayout.conventional()
+        dl = compute_snr_profile(layout).min_snr_db
+        ul = compute_uplink_profile(layout).min_snr_db
+        assert ul < dl
