@@ -43,8 +43,16 @@ from repro.power import (
     hp_site_power_w,
     repeater_prototype_bill,
 )
-from repro.radio import LinkParams, NrCarrier, RepeaterNoiseModel, compute_snr_profile
+from repro.radio import (
+    LinkParams,
+    NrCarrier,
+    RepeaterNoiseModel,
+    compute_snr_profile,
+    evaluate_scenarios,
+    min_snr_batch,
+)
 from repro.radio.uplink import UplinkParams, compute_uplink_profile
+from repro.scenario import ProfileCache, Scenario, ScenarioGrid
 from repro.traffic import TrafficParams, duty_cycle, generate_timetable
 from repro.mobility import simulate_traversal
 from repro.emf import node_compliance
@@ -63,6 +71,11 @@ __all__ = [
     "NrCarrier",
     "RepeaterNoiseModel",
     "compute_snr_profile",
+    "evaluate_scenarios",
+    "min_snr_batch",
+    "Scenario",
+    "ScenarioGrid",
+    "ProfileCache",
     "TruncatedShannonModel",
     "peak_snr_threshold_db",
     "throughput_profile",

@@ -6,6 +6,8 @@ Examples::
     repro fig4                  # print the Fig. 4 table
     repro table4 --csv out/     # also dump the CSV series
     repro all --csv out/        # run everything
+    repro maxisd --jobs 4       # shard sweep evaluation across threads
+    repro all --cache-dir .cache  # persist Eq. (2) profiles across runs
 """
 
 from __future__ import annotations
@@ -14,6 +16,7 @@ import argparse
 import sys
 
 from repro.experiments.runner import ALL_EXPERIMENTS, run_all, run_experiment
+from repro.scenario.cache import ProfileCache
 
 __all__ = ["main", "build_parser"]
 
@@ -39,6 +42,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the formatted tables (useful with --csv)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        default=None,
+        help="shard batched scenario evaluation across N threads",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persist evaluated SNR profiles to DIR (reused across runs)",
+    )
     return parser
 
 
@@ -52,6 +68,18 @@ def _print_result(experiment_id: str, result, quiet: bool) -> None:
     print()
 
 
+def _engine_kwargs(args: argparse.Namespace) -> dict:
+    """Shared engine options forwarded to every experiment runner."""
+    kwargs: dict = {}
+    if args.jobs is not None:
+        if args.jobs < 1:
+            raise SystemExit("--jobs must be >= 1")
+        kwargs["jobs"] = args.jobs
+    if args.cache_dir is not None:
+        kwargs["cache"] = ProfileCache(maxsize=1024, cache_dir=args.cache_dir)
+    return kwargs
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -61,8 +89,14 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{spec.experiment_id:<{width}}  {spec.description}")
         return 0
 
+    kwargs = _engine_kwargs(args)
+
     if args.experiment == "all":
-        results = run_all(output_dir=args.csv)
+        def progress(index: int, total: int, experiment_id: str) -> None:
+            if not args.quiet:
+                print(f"[{index}/{total}] {experiment_id}", file=sys.stderr)
+
+        results = run_all(output_dir=args.csv, progress=progress, **kwargs)
         for eid, result in results.items():
             _print_result(eid, result, args.quiet)
         return 0
@@ -72,7 +106,7 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 2
 
-    result = run_experiment(args.experiment, output_dir=args.csv)
+    result = run_experiment(args.experiment, output_dir=args.csv, **kwargs)
     _print_result(args.experiment, result, args.quiet)
     return 0
 

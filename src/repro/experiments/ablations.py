@@ -16,9 +16,12 @@ from repro import constants
 from repro.corridor.layout import CorridorLayout
 from repro.energy.scenario import OperatingMode
 from repro.optimize.placement import optimize_placement
-from repro.radio.link import LinkParams, compute_snr_profile
+from repro.radio.batch import evaluate_scenarios
+from repro.radio.link import LinkParams
 from repro.radio.noise import RepeaterNoiseModel
 from repro.reporting.tables import format_table
+from repro.scenario.cache import ProfileCache
+from repro.scenario.spec import Scenario
 from repro.simulation.corridor_sim import CorridorSimulation
 from repro.optimize.isd import sweep_max_isd
 
@@ -55,14 +58,17 @@ class NoiseAblationResult:
 
 
 def run_noise_ablation(n_max: int = 10, resolution_m: float = 2.0,
-                       isd_step_m: float = 50.0) -> NoiseAblationResult:
+                       isd_step_m: float = 50.0,
+                       cache: ProfileCache | None = None,
+                       jobs: int | None = None) -> NoiseAblationResult:
     """Max-ISD list under each repeater-noise model."""
     lists = {}
     for model in (RepeaterNoiseModel.PAPER, RepeaterNoiseModel.FRONTHAUL_STAR,
                   RepeaterNoiseModel.FRONTHAUL_CHAIN):
         link = LinkParams(repeater_noise_model=model)
         sweep = sweep_max_isd(n_max=n_max, link=link, include_zero=False,
-                              resolution_m=resolution_m, isd_step_m=isd_step_m)
+                              resolution_m=resolution_m, isd_step_m=isd_step_m,
+                              cache=cache, jobs=jobs)
         lists[model.value] = sweep.as_list()
     return NoiseAblationResult(lists=lists)
 
@@ -97,17 +103,26 @@ class PlacementAblationResult:
 
 def run_placement_ablation(isd_m: float = 2400.0, n_repeaters: int = 8,
                            link: LinkParams | None = None,
-                           resolution_m: float = 2.0) -> PlacementAblationResult:
+                           resolution_m: float = 2.0,
+                           cache: ProfileCache | None = None) -> PlacementAblationResult:
     """Compare repeater placement strategies by worst-case SNR."""
     link = link or LinkParams()
     centered = CorridorLayout.with_uniform_repeaters(isd_m, n_repeaters)
     equal = CorridorLayout.with_equally_divided_repeaters(isd_m, n_repeaters)
-    opt = optimize_placement(isd_m, n_repeaters, link=link, resolution_m=resolution_m)
+    baselines = evaluate_scenarios(
+        [Scenario(layout=lo, link=link, resolution_m=resolution_m)
+         for lo in (centered, equal)], cache=cache)
+    # The descent loop evaluates hundreds of one-off trial layouts; keep
+    # those out of any disk-backed cache and let the optimizer use its
+    # internal LRU instead.
+    trial_cache = cache if cache is not None and cache.cache_dir is None else None
+    opt = optimize_placement(isd_m, n_repeaters, link=link,
+                             resolution_m=resolution_m, cache=trial_cache)
     return PlacementAblationResult(
         isd_m=isd_m,
         n_repeaters=n_repeaters,
-        centered_min_snr_db=compute_snr_profile(centered, link, resolution_m).min_snr_db,
-        equal_division_min_snr_db=compute_snr_profile(equal, link, resolution_m).min_snr_db,
+        centered_min_snr_db=baselines[0].min_snr_db,
+        equal_division_min_snr_db=baselines[1].min_snr_db,
         optimized_min_snr_db=opt.min_snr_db,
         optimized_positions_m=opt.layout.repeater_positions_m,
     )

@@ -188,16 +188,27 @@ class RobustnessResult:
 
 
 def run_robustness(sigma_db: float = 4.0, trials: int = 60,
-                   counts=(1, 4, 8, 10)) -> RobustnessResult:
-    """Outage probability of the paper's operating points under shadowing."""
+                   counts=(1, 4, 8, 10), jobs: int | None = None) -> RobustnessResult:
+    """Outage probability of the paper's operating points under shadowing.
+
+    The deterministic profiles of all operating points come from one
+    batched-engine call; only the Monte-Carlo trials run per point.
+    """
+    from repro.radio.batch import evaluate_scenarios
+    from repro.scenario.spec import Scenario
+
     shadowing = LogNormalShadowing(sigma_db=sigma_db)
+    layouts = [
+        CorridorLayout.with_uniform_repeaters(constants.PAPER_MAX_ISD_M[n - 1], n)
+        for n in counts
+    ]
+    profiles = evaluate_scenarios(
+        [Scenario(layout=lo, resolution_m=10.0) for lo in layouts], jobs=jobs)
     rows = []
-    for n in counts:
-        isd = constants.PAPER_MAX_ISD_M[n - 1]
-        layout = CorridorLayout.with_uniform_repeaters(isd, n)
+    for n, layout, profile in zip(counts, layouts, profiles):
         result = outage_probability(layout, shadowing, trials=trials,
-                                    resolution_m=10.0)
-        rows.append((n, isd, result.outage_probability))
+                                    resolution_m=10.0, profile=profile)
+        rows.append((n, layout.isd_m, result.outage_probability))
     return RobustnessResult(rows=rows, sigma_db=sigma_db)
 
 

@@ -11,8 +11,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.corridor.layout import CorridorLayout
-from repro.radio.link import LinkParams, SnrProfile, compute_snr_profile
+from repro.radio.batch import evaluate_scenarios
+from repro.radio.link import LinkParams, SnrProfile
 from repro.reporting.tables import format_table
+from repro.scenario.cache import ProfileCache
+from repro.scenario.spec import Scenario
 
 __all__ = ["Fig3Result", "run_fig3"]
 
@@ -57,14 +60,17 @@ class Fig3Result:
 def run_fig3(link: LinkParams | None = None,
              isd_m: float = FIG3_ISD_M,
              n_repeaters: int = FIG3_N_REPEATERS,
-             resolution_m: float = 1.0) -> Fig3Result:
-    """Compute the Fig. 3 profile.
+             resolution_m: float = 1.0,
+             cache: ProfileCache | None = None) -> Fig3Result:
+    """Compute the Fig. 3 profile through the scenario engine.
 
     Also extracts the in-text observation that the serving HP signal "drops
     below -100 dBm after around 250 m".
     """
     layout = CorridorLayout.with_uniform_repeaters(isd_m, n_repeaters)
-    profile = compute_snr_profile(layout, link, resolution_m=resolution_m)
+    scenario = Scenario(layout=layout, link=link or LinkParams(),
+                        resolution_m=resolution_m)
+    profile = evaluate_scenarios([scenario], cache=cache)[0]
 
     hp_left = profile.source_rsrp_dbm[0]
     below = np.nonzero(hp_left < -100.0)[0]

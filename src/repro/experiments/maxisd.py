@@ -14,6 +14,7 @@ from repro.optimize.isd import IsdSweepResult, sweep_max_isd
 from repro.radio.link import LinkParams
 from repro.radio.noise import RepeaterNoiseModel
 from repro.reporting.tables import format_table
+from repro.scenario.cache import ProfileCache
 
 __all__ = ["MaxIsdResult", "run_maxisd"]
 
@@ -63,9 +64,17 @@ class MaxIsdResult:
 def run_maxisd(noise_model: RepeaterNoiseModel = RepeaterNoiseModel.PAPER,
                n_max: int = 10,
                resolution_m: float = 1.0,
-               isd_step_m: float = constants.ISD_STEP_M) -> MaxIsdResult:
-    """Run the Section V sweep under the requested noise model."""
+               isd_step_m: float = constants.ISD_STEP_M,
+               exhaustive: bool = False,
+               cache: ProfileCache | None = None,
+               jobs: int | None = None) -> MaxIsdResult:
+    """Run the Section V sweep under the requested noise model.
+
+    ``exhaustive``, ``cache`` and ``jobs`` forward to
+    :func:`repro.optimize.isd.sweep_max_isd`.
+    """
     link = LinkParams(repeater_noise_model=noise_model)
     sweep = sweep_max_isd(n_max=n_max, link=link, include_zero=False,
-                          resolution_m=resolution_m, isd_step_m=isd_step_m)
+                          resolution_m=resolution_m, isd_step_m=isd_step_m,
+                          exhaustive=exhaustive, cache=cache, jobs=jobs)
     return MaxIsdResult(sweep=sweep, noise_model=noise_model)

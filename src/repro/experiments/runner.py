@@ -1,7 +1,12 @@
-"""Experiment registry and batch runner (used by the CLI and EXPERIMENTS.md)."""
+"""Experiment registry and batch runner.
+
+Used by the CLI (``repro <id>``); the registry IDs are documented in the
+repository's ``EXPERIMENTS.md``.
+"""
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
@@ -31,16 +36,37 @@ from repro.experiments.table3 import run_table3
 from repro.experiments.table4 import run_table4
 from repro.reporting.series import write_csv
 
-__all__ = ["ALL_EXPERIMENTS", "run_experiment", "run_all"]
+__all__ = ["ALL_EXPERIMENTS", "ENGINE_KWARGS", "run_experiment", "run_all"]
+
+#: Shared engine options every experiment may receive (and may ignore).
+ENGINE_KWARGS = frozenset({"jobs", "cache", "exhaustive"})
 
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """Registry entry: id, description, and a zero-argument runner."""
+    """Registry entry: id, description, and a runner with keyword overrides."""
 
     experiment_id: str
     description: str
-    runner: Callable[[], object]
+    runner: Callable[..., object]
+
+    def accepted_kwargs(self, overrides: dict) -> dict:
+        """Subset of ``overrides`` this runner's signature accepts.
+
+        Shared engine options (:data:`ENGINE_KWARGS`) are passed to every
+        experiment from the CLI; experiments that don't take them simply
+        ignore them.  Any other unaccepted keyword is a caller error (most
+        likely a typo) and raises instead of silently running with defaults.
+        """
+        parameters = inspect.signature(self.runner).parameters
+        if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()):
+            return dict(overrides)
+        unknown = set(overrides) - set(parameters) - ENGINE_KWARGS
+        if unknown:
+            raise ConfigurationError(
+                f"experiment {self.experiment_id!r} does not accept "
+                f"{sorted(unknown)}; accepted: {sorted(parameters)}")
+        return {k: v for k, v in overrides.items() if k in parameters}
 
 
 ALL_EXPERIMENTS: dict[str, ExperimentSpec] = {
@@ -67,8 +93,15 @@ ALL_EXPERIMENTS: dict[str, ExperimentSpec] = {
 }
 
 
-def run_experiment(experiment_id: str, output_dir: str | Path | None = None):
+def run_experiment(experiment_id: str, output_dir: str | Path | None = None,
+                   **kwargs):
     """Run one experiment; optionally dump its CSV series to ``output_dir``.
+
+    Keyword overrides (e.g. ``jobs``, ``cache``, ``resolution_m``) are
+    forwarded to the experiment runner.  Shared engine options
+    (:data:`ENGINE_KWARGS`) are dropped when the runner doesn't take them, so
+    they can be applied across heterogeneous experiments; any other
+    unaccepted keyword raises :class:`ConfigurationError`.
 
     Returns the experiment's structured result object.
     """
@@ -76,14 +109,26 @@ def run_experiment(experiment_id: str, output_dir: str | Path | None = None):
     if spec is None:
         raise ConfigurationError(
             f"unknown experiment {experiment_id!r}; available: {sorted(ALL_EXPERIMENTS)}")
-    result = spec.runner()
+    result = spec.runner(**spec.accepted_kwargs(kwargs))
     if output_dir is not None and hasattr(result, "series"):
         write_csv(Path(output_dir) / f"{experiment_id}.csv", result.series())
     return result
 
 
 def run_all(output_dir: str | Path | None = None,
-            ids=None) -> dict[str, object]:
-    """Run every registered experiment (or a subset) and collect results."""
+            ids=None,
+            progress: Callable[[int, int, str], None] | None = None,
+            **kwargs) -> dict[str, object]:
+    """Run every registered experiment (or a subset) and collect results.
+
+    ``progress(index, total, experiment_id)`` is invoked before each
+    experiment starts (1-based index), giving long grid runs a heartbeat.
+    Keyword overrides are forwarded as in :func:`run_experiment`.
+    """
     ids = list(ALL_EXPERIMENTS) if ids is None else list(ids)
-    return {eid: run_experiment(eid, output_dir) for eid in ids}
+    results: dict[str, object] = {}
+    for i, eid in enumerate(ids, start=1):
+        if progress is not None:
+            progress(i, len(ids), eid)
+        results[eid] = run_experiment(eid, output_dir, **kwargs)
+    return results

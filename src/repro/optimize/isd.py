@@ -7,12 +7,18 @@ registered with which the throughput still matches the peak throughput of 5G
 NR at an SNR > 29 dB."
 
 The sweep evaluates min-SNR over a fine position grid for each candidate ISD
-and returns the largest feasible one.  An optional shadowing margin tightens
+and returns the largest feasible one.  Candidate evaluation routes through the
+batched scenario engine (:mod:`repro.radio.batch`); because feasibility is
+monotone in ISD the default search bisects the candidate list (~log2 instead
+of ~linear evaluations), with ``exhaustive=True`` as the escape hatch that
+scans every candidate like the original implementation (and is verified equal
+to the bisection path in the tests).  An optional shadowing margin tightens
 the SNR constraint for robustness studies.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -21,7 +27,11 @@ from repro import constants
 from repro.capacity.shannon import TruncatedShannonModel
 from repro.corridor.layout import CorridorLayout
 from repro.errors import InfeasibleError
-from repro.radio.link import LinkParams, compute_snr_profile
+from repro.radio.batch import evaluate_scenarios, min_snr_batch
+from repro.radio.link import LinkParams
+from repro.scenario.cache import ProfileCache
+from repro.scenario.grid import isd_candidates
+from repro.scenario.spec import Scenario
 
 __all__ = ["IsdSweepResult", "max_isd_for_n", "sweep_max_isd"]
 
@@ -38,14 +48,6 @@ class IsdSweepResult:
     def as_list(self) -> list[float]:
         """Maximum ISDs for N = 1.. in ascending N order (paper's list shape)."""
         return [self.max_isd_by_n[n] for n in sorted(self.max_isd_by_n) if n >= 1]
-
-
-def _min_snr_db(isd_m: float, n_repeaters: int, link: LinkParams,
-                spacing_m: float, resolution_m: float,
-                shadowing_margin_db: float) -> float:
-    layout = CorridorLayout.with_uniform_repeaters(isd_m, n_repeaters, spacing_m)
-    profile = compute_snr_profile(layout, link, resolution_m=resolution_m)
-    return profile.min_snr_db - shadowing_margin_db
 
 
 def _resolve_threshold(capacity: TruncatedShannonModel | None,
@@ -70,13 +72,19 @@ def max_isd_for_n(n_repeaters: int,
                   isd_max_m: float = 4000.0,
                   resolution_m: float = 1.0,
                   shadowing_margin_db: float = 0.0,
-                  threshold_db: float | None = None) -> tuple[float, float]:
+                  threshold_db: float | None = None,
+                  exhaustive: bool = False,
+                  cache: ProfileCache | None = None,
+                  jobs: int | None = None) -> tuple[float, float]:
     """Largest ISD sustaining peak throughput everywhere with N repeaters.
 
-    Returns ``(max_isd_m, min_snr_db_at_max)``.  The search walks up in
+    Returns ``(max_isd_m, min_snr_db_at_max)``.  The candidate set walks up in
     ``isd_step_m`` steps from the smallest geometry that fits the repeater
-    field; feasibility is monotone in practice but the sweep is exhaustive
-    (it keeps the largest feasible ISD) so non-monotone profiles are handled.
+    field.  By default the search bisects the candidates — feasibility is
+    monotone in ISD for every supported noise model — evaluating only
+    ~log2(candidates) profiles; ``exhaustive=True`` scans all candidates
+    through the batched engine and keeps the largest feasible one, handling
+    hypothetical non-monotone profiles exactly like the original sweep.
 
     The default SNR constraint is the paper's stated "SNR > 29 dB"; pass a
     ``capacity`` model to use its exact saturation point (29.30 dB with paper
@@ -88,22 +96,54 @@ def max_isd_for_n(n_repeaters: int,
     link = link or LinkParams()
     threshold = _resolve_threshold(capacity, threshold_db)
 
-    min_isd = spacing_m * max(0, n_repeaters - 1) + 2.0 * isd_step_m
-    candidates = np.arange(max(isd_step_m, min_isd), isd_max_m + isd_step_m / 2, isd_step_m)
+    candidates = isd_candidates(n_repeaters, spacing_m, isd_step_m, isd_max_m)
+    scenarios = [
+        Scenario(
+            layout=CorridorLayout.with_uniform_repeaters(
+                float(isd), n_repeaters, spacing_m),
+            link=link, resolution_m=resolution_m)
+        for isd in candidates
+    ]
+    infeasible = InfeasibleError(
+        f"no ISD up to {isd_max_m} m sustains peak throughput with "
+        f"{n_repeaters} repeaters (threshold {threshold:.2f} dB)")
+    if not scenarios:
+        raise infeasible
 
-    best_isd = None
-    best_snr = None
-    for isd in candidates:
-        snr = _min_snr_db(float(isd), n_repeaters, link, spacing_m,
-                          resolution_m, shadowing_margin_db)
-        if snr >= threshold:
-            best_isd = float(isd)
-            best_snr = snr
-    if best_isd is None:
-        raise InfeasibleError(
-            f"no ISD up to {isd_max_m} m sustains peak throughput with "
-            f"{n_repeaters} repeaters (threshold {threshold:.2f} dB)")
-    return best_isd, float(best_snr)
+    if exhaustive:
+        snrs = min_snr_batch(scenarios, cache=cache, jobs=jobs) - shadowing_margin_db
+        feasible = np.nonzero(snrs >= threshold)[0]
+        if feasible.size == 0:
+            raise infeasible
+        best = int(feasible[-1])
+        return float(candidates[best]), float(snrs[best])
+
+    snr_memo: dict[int, float] = {}
+
+    def snr_at(index: int) -> float:
+        if index not in snr_memo:
+            profile = evaluate_scenarios([scenarios[index]], cache=cache)[0]
+            snr_memo[index] = profile.min_snr_db - shadowing_margin_db
+        return snr_memo[index]
+
+    lo, hi = 0, len(scenarios) - 1
+    # Evaluate the bracket in one batched call, then bisect the boundary.
+    for index, snr in zip((lo, hi), min_snr_batch(
+            [scenarios[lo], scenarios[hi]], cache=cache)):
+        snr_memo[index] = float(snr) - shadowing_margin_db
+    if snr_at(lo) < threshold:
+        raise infeasible
+    if snr_at(hi) >= threshold:
+        best = hi
+    else:
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if snr_at(mid) >= threshold:
+                lo = mid
+            else:
+                hi = mid
+        best = lo
+    return float(candidates[best]), float(snr_at(best))
 
 
 def sweep_max_isd(n_max: int = 10,
@@ -115,7 +155,10 @@ def sweep_max_isd(n_max: int = 10,
                   resolution_m: float = 1.0,
                   include_zero: bool = True,
                   shadowing_margin_db: float = 0.0,
-                  threshold_db: float | None = None) -> IsdSweepResult:
+                  threshold_db: float | None = None,
+                  exhaustive: bool = False,
+                  cache: ProfileCache | None = None,
+                  jobs: int | None = None) -> IsdSweepResult:
     """The full Section V sweep: max ISD for each repeater count.
 
     With default (paper-literal) link parameters and the paper's stated
@@ -123,17 +166,28 @@ def sweep_max_isd(n_max: int = 10,
     N = 1..4 and exceeds it for large N (see DESIGN.md #4.1); with
     ``RepeaterNoiseModel.FRONTHAUL_STAR`` the diminishing-returns tail is
     also reproduced.
+
+    ``jobs`` > 1 evaluates the repeater counts concurrently; ``cache`` memoizes
+    profiles across calls; ``exhaustive`` forwards to :func:`max_isd_for_n`.
     """
     link = link or LinkParams()
     threshold = _resolve_threshold(capacity, threshold_db)
-    max_isd: dict[int, float] = {}
-    min_snr: dict[int, float] = {}
     start = 0 if include_zero else 1
-    for n in range(start, n_max + 1):
-        isd, snr = max_isd_for_n(
+    counts = list(range(start, n_max + 1))
+
+    def one(n: int) -> tuple[float, float]:
+        return max_isd_for_n(
             n, link, None, spacing_m, isd_step_m, isd_max_m,
-            resolution_m, shadowing_margin_db, threshold_db=threshold)
-        max_isd[n] = isd
-        min_snr[n] = snr
+            resolution_m, shadowing_margin_db, threshold_db=threshold,
+            exhaustive=exhaustive, cache=cache)
+
+    if jobs is not None and jobs > 1 and len(counts) > 1:
+        with ThreadPoolExecutor(max_workers=min(jobs, len(counts))) as pool:
+            outcomes = list(pool.map(one, counts))
+    else:
+        outcomes = [one(n) for n in counts]
+
+    max_isd = {n: isd for n, (isd, _) in zip(counts, outcomes)}
+    min_snr = {n: snr for n, (_, snr) in zip(counts, outcomes)}
     return IsdSweepResult(max_isd_by_n=max_isd, min_snr_by_n=min_snr,
                           threshold_db=threshold, link=link)

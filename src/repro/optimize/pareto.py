@@ -20,7 +20,10 @@ from repro.corridor.layout import CorridorLayout
 from repro.energy.duty import EnergyParams
 from repro.energy.scenario import OperatingMode, segment_energy
 from repro.errors import ConfigurationError
-from repro.radio.link import LinkParams, compute_snr_profile
+from repro.radio.batch import evaluate_scenarios
+from repro.radio.link import LinkParams
+from repro.scenario.cache import ProfileCache
+from repro.scenario.spec import Scenario
 
 __all__ = ["ParetoPoint", "energy_capacity_frontier"]
 
@@ -44,11 +47,14 @@ def energy_capacity_frontier(n_values=range(0, 11),
                              capacity: TruncatedShannonModel | None = None,
                              energy: EnergyParams | None = None,
                              spacing_m: float = constants.LP_NODE_SPACING_M,
-                             resolution_m: float = 2.0) -> list[ParetoPoint]:
+                             resolution_m: float = 2.0,
+                             cache: ProfileCache | None = None,
+                             jobs: int | None = None) -> list[ParetoPoint]:
     """Evaluate an (N, ISD) grid and mark the Pareto-efficient points.
 
     A point is efficient when no other point has both lower energy per km and
-    higher worst-case throughput.
+    higher worst-case throughput.  The SNR profiles of the whole grid are
+    computed in one batched-engine call.
     """
     link = link or LinkParams()
     capacity = capacity or TruncatedShannonModel()
@@ -56,7 +62,7 @@ def energy_capacity_frontier(n_values=range(0, 11),
     if isd_values_m is None:
         isd_values_m = np.arange(500.0, 3001.0, 250.0)
 
-    points: list[tuple[int, float, float, float, float]] = []
+    layouts: list[CorridorLayout] = []
     for n in n_values:
         if n < 0:
             raise ConfigurationError(f"repeater count must be >= 0, got {n}")
@@ -64,12 +70,17 @@ def energy_capacity_frontier(n_values=range(0, 11),
             span = spacing_m * max(0, n - 1)
             if isd <= span + 100.0:
                 continue
-            layout = CorridorLayout.with_uniform_repeaters(float(isd), n, spacing_m)
-            snr = compute_snr_profile(layout, link, resolution_m=resolution_m)
-            thr = throughput_profile(snr, capacity)
-            e = segment_energy(layout, mode, energy)
-            points.append((n, float(isd), e.w_per_km,
-                           thr.min_bps / 1e6, thr.mean_bps / 1e6))
+            layouts.append(CorridorLayout.with_uniform_repeaters(float(isd), n, spacing_m))
+
+    profiles = evaluate_scenarios(
+        [Scenario(layout=lo, link=link, resolution_m=resolution_m) for lo in layouts],
+        cache=cache, jobs=jobs)
+    points: list[tuple[int, float, float, float, float]] = []
+    for layout, snr in zip(layouts, profiles):
+        thr = throughput_profile(snr, capacity)
+        e = segment_energy(layout, mode, energy)
+        points.append((layout.n_repeaters, float(layout.isd_m), e.w_per_km,
+                       thr.min_bps / 1e6, thr.mean_bps / 1e6))
 
     results: list[ParetoPoint] = []
     for i, (n, isd, w, mn, mean) in enumerate(points):

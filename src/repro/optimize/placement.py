@@ -16,7 +16,10 @@ from repro import constants
 from repro.corridor.geometry import CatenaryGrid
 from repro.corridor.layout import CorridorLayout
 from repro.errors import ConfigurationError, GeometryError
-from repro.radio.link import LinkParams, compute_snr_profile
+from repro.radio.batch import evaluate_scenarios
+from repro.radio.link import LinkParams
+from repro.scenario.cache import ProfileCache
+from repro.scenario.spec import Scenario
 
 __all__ = ["PlacementResult", "optimize_placement"]
 
@@ -36,22 +39,23 @@ class PlacementResult:
         return self.min_snr_db - self.baseline_min_snr_db
 
 
-def _min_snr(layout: CorridorLayout, link: LinkParams, resolution_m: float) -> float:
-    return compute_snr_profile(layout, link, resolution_m=resolution_m).min_snr_db
-
-
 def optimize_placement(isd_m: float,
                        n_repeaters: int,
                        link: LinkParams | None = None,
                        grid: CatenaryGrid | None = None,
                        min_spacing_m: float = 50.0,
                        resolution_m: float = 2.0,
-                       max_rounds: int = 20) -> PlacementResult:
+                       max_rounds: int = 20,
+                       cache: ProfileCache | None = None) -> PlacementResult:
     """Maximize worst-case SNR by moving repeaters between catenary masts.
 
     Coordinate descent: each round tries moving every node to neighbouring
     grid positions (keeping order and ``min_spacing_m``) and keeps the best
     single move; stops when no move improves the min-SNR.
+
+    Each round's candidate moves are evaluated in one batched-engine call;
+    a profile cache (an internal LRU unless ``cache`` is supplied) absorbs
+    the many re-visited layouts of the descent.
 
     Starts from the paper's centered 200 m layout (snapped to the grid).
     """
@@ -59,9 +63,14 @@ def optimize_placement(isd_m: float,
         raise ConfigurationError(f"placement needs >= 1 repeater, got {n_repeaters}")
     link = link or LinkParams()
     grid = grid or CatenaryGrid()
+    cache = cache or ProfileCache(maxsize=256)
+
+    def _min_snr(layout: CorridorLayout) -> float:
+        scenario = Scenario(layout=layout, link=link, resolution_m=resolution_m)
+        return evaluate_scenarios([scenario], cache=cache)[0].min_snr_db
 
     baseline = CorridorLayout.with_uniform_repeaters(isd_m, n_repeaters)
-    baseline_snr = _min_snr(baseline, link, resolution_m)
+    baseline_snr = _min_snr(baseline)
 
     positions = list(grid.snap_all(baseline.repeater_positions_m))
     # Snapping can collapse near-boundary nodes; keep them inside the segment.
@@ -77,19 +86,27 @@ def optimize_placement(isd_m: float,
             return False
         return all(b - a >= min_spacing_m - 1e-9 for a, b in zip(pos, pos[1:]))
 
-    current = _min_snr(CorridorLayout(isd_m, tuple(positions)), link, resolution_m)
+    current = _min_snr(CorridorLayout(isd_m, tuple(positions)))
     rounds = 0
     for rounds in range(1, max_rounds + 1):
-        best_move: tuple[int, float, float] | None = None  # (index, new position, snr)
+        moves: list[tuple[int, float]] = []  # (index, new position)
+        trial_scenarios: list[Scenario] = []
         for i in range(len(positions)):
             for delta in (-grid.spacing_m, grid.spacing_m):
                 trial = list(positions)
                 trial[i] = trial[i] + delta
                 if not feasible(trial):
                     continue
-                snr = _min_snr(CorridorLayout(isd_m, tuple(trial)), link, resolution_m)
-                if snr > current + 1e-9 and (best_move is None or snr > best_move[2]):
-                    best_move = (i, trial[i], snr)
+                moves.append((i, trial[i]))
+                trial_scenarios.append(Scenario(
+                    layout=CorridorLayout(isd_m, tuple(trial)), link=link,
+                    resolution_m=resolution_m))
+        best_move: tuple[int, float, float] | None = None  # (index, new position, snr)
+        profiles = evaluate_scenarios(trial_scenarios, cache=cache)
+        for (i, new_pos), profile in zip(moves, profiles):
+            snr = profile.min_snr_db
+            if snr > current + 1e-9 and (best_move is None or snr > best_move[2]):
+                best_move = (i, new_pos, snr)
         if best_move is None:
             break
         positions[best_move[0]] = best_move[1]

@@ -8,7 +8,8 @@ per node class, noise aggregation (terminal + repeater) and the resulting SNR.
 from repro.radio.carrier import NrCarrier, rstp_dbm_from_eirp
 from repro.radio.nodes import DonorNode, HighPowerSite, RepeaterNode
 from repro.radio.noise import RepeaterNoiseModel, thermal_noise_dbm
-from repro.radio.link import LinkParams, SnrProfile, compute_snr_profile
+from repro.radio.link import LinkParams, SnrProfile, chain_hop_assignment, compute_snr_profile
+from repro.radio.batch import evaluate_scenarios, min_snr_batch
 
 __all__ = [
     "NrCarrier",
@@ -20,5 +21,8 @@ __all__ = [
     "thermal_noise_dbm",
     "LinkParams",
     "SnrProfile",
+    "chain_hop_assignment",
     "compute_snr_profile",
+    "evaluate_scenarios",
+    "min_snr_batch",
 ]

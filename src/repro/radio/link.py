@@ -25,7 +25,7 @@ from repro.propagation.fronthaul import FronthaulBudget, FronthaulParams
 from repro.radio.carrier import NrCarrier
 from repro.radio.noise import RepeaterNoiseModel, thermal_noise_dbm
 
-__all__ = ["LinkParams", "SnrProfile", "compute_snr_profile"]
+__all__ = ["LinkParams", "SnrProfile", "chain_hop_assignment", "compute_snr_profile"]
 
 
 @dataclass(frozen=True)
@@ -101,6 +101,35 @@ class SnrProfile:
         return float(self.snr_db[idx])
 
 
+def chain_hop_assignment(layout) -> tuple[np.ndarray, np.ndarray, float]:
+    """FRONTHAUL_CHAIN relay geometry of a layout.
+
+    Nodes relay from the nearest HP mast inward; the node k hops away from its
+    donor accumulates k extra hops of node spacing.  Returns
+    ``(hop_counts, first_hop_m, hop_length_m)`` where ``hop_counts`` is the
+    number of extra relay hops per node (0 for the node adjacent to its
+    donor), ``first_hop_m`` the donor-to-first-node gap of each node's chain
+    (clamped to >= 1 m) and ``hop_length_m`` the uniform hop length.
+    """
+    positions = np.asarray(layout.repeater_positions_m, dtype=float)
+    n_rep = positions.size
+    dist_left = positions - 0.0
+    dist_right = layout.isd_m - positions
+    served_left = dist_left <= dist_right
+    idx_sorted_left = np.argsort(dist_left)
+    idx_sorted_right = np.argsort(dist_right)
+    hop_rank_left = np.empty(n_rep, dtype=int)
+    hop_rank_right = np.empty(n_rep, dtype=int)
+    hop_rank_left[idx_sorted_left] = np.arange(n_rep)
+    hop_rank_right[idx_sorted_right] = np.arange(n_rep)
+    hops = np.where(served_left, hop_rank_left, hop_rank_right).astype(float)
+    spacing = _chain_spacing(positions)
+    first_hop = np.where(served_left, dist_left - hops * spacing,
+                         dist_right - hops * spacing)
+    first_hop = np.maximum(first_hop, 1.0)
+    return hops, first_hop, spacing
+
+
 def _repeater_noise_mw(layout, params: LinkParams, attenuation_linear: np.ndarray) -> np.ndarray:
     """Noise received from all repeaters, per model, in mW per subcarrier.
 
@@ -119,31 +148,14 @@ def _repeater_noise_mw(layout, params: LinkParams, attenuation_linear: np.ndarra
     # Amplify-and-forward: radiated noise = RSTP / fronthaul SNR per node.
     budget = FronthaulBudget(params.fronthaul)
     positions = np.asarray(layout.repeater_positions_m, dtype=float)
-    donor_left = 0.0
-    donor_right = layout.isd_m
-    dist_left = positions - donor_left
-    dist_right = donor_right - positions
+    dist_left = positions - 0.0
+    dist_right = layout.isd_m - positions
     nearest = np.minimum(dist_left, dist_right)
     if model is RepeaterNoiseModel.FRONTHAUL_STAR:
         snr_fh = budget.snr_linear_at(nearest)
     else:
-        # Chain: nodes relay from the nearest HP mast inward; the node k hops
-        # away from its donor accumulates k extra hops of node spacing.
-        order_left = np.argsort(dist_left)
-        hops = np.empty(n_rep)
-        served_left = dist_left <= dist_right
-        idx_sorted_left = np.argsort(dist_left)
-        idx_sorted_right = np.argsort(dist_right)
-        hop_rank_left = np.empty(n_rep, dtype=int)
-        hop_rank_right = np.empty(n_rep, dtype=int)
-        hop_rank_left[idx_sorted_left] = np.arange(n_rep)
-        hop_rank_right[idx_sorted_right] = np.arange(n_rep)
-        hops = np.where(served_left, hop_rank_left, hop_rank_right).astype(float)
-        first_hop = np.where(served_left, dist_left - hops * _chain_spacing(positions),
-                             dist_right - hops * _chain_spacing(positions))
-        first_hop = np.maximum(first_hop, 1.0)
-        snr_fh = budget.chain_output_snr_linear(first_hop, hops, _chain_spacing(positions))
-        del order_left
+        hops, first_hop, spacing = chain_hop_assignment(layout)
+        snr_fh = budget.chain_output_snr_linear(first_hop, hops, spacing)
     rstp_mw = 10.0 ** (params.lp_rstp_dbm / 10.0)
     radiated_noise_mw = rstp_mw / snr_fh  # at each repeater's output port
     return np.sum(radiated_noise_mw[:, None] / attenuation_linear, axis=0)

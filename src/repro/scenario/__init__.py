@@ -1,0 +1,23 @@
+"""Scenario layer: frozen evaluation specs, sweep grids, and profile caching.
+
+* :mod:`repro.scenario.spec` — :class:`Scenario`, one fully specified Eq. (2)
+  evaluation with a stable content hash.
+* :mod:`repro.scenario.grid` — :class:`ScenarioGrid`, declarative sweep axes
+  (ISD x N x link perturbations) expanded into scenario batches.
+* :mod:`repro.scenario.cache` — :class:`ProfileCache`, LRU + disk memo of
+  evaluated profiles keyed by scenario hash.
+
+The batch evaluator that consumes these lives in :mod:`repro.radio.batch`.
+"""
+
+from repro.scenario.spec import Scenario, content_token
+from repro.scenario.grid import ScenarioGrid, isd_candidates
+from repro.scenario.cache import ProfileCache
+
+__all__ = [
+    "Scenario",
+    "ScenarioGrid",
+    "ProfileCache",
+    "content_token",
+    "isd_candidates",
+]

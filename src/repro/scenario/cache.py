@@ -1,0 +1,121 @@
+"""Memoized Eq. (2) profiles keyed by scenario content hash.
+
+Two layers:
+
+* an in-memory LRU (``maxsize`` entries) for hot loops such as the placement
+  optimizer, which revisits the same layouts across coordinate-descent rounds;
+* an optional on-disk layer (``cache_dir``) that persists profiles as ``.npz``
+  files named by hash, so repeated experiment runs (``repro maxisd
+  --cache-dir ...``) skip the evaluation entirely.
+
+Cached profiles are bit-identical to fresh ones: the arrays are stored as
+float64 without any rounding.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import zipfile
+from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.radio.link import SnrProfile
+from repro.scenario.spec import Scenario
+
+__all__ = ["ProfileCache"]
+
+_PROFILE_FIELDS = ("positions_m", "source_rsrp_dbm", "total_signal_dbm",
+                   "total_noise_dbm", "snr_db")
+
+
+class ProfileCache:
+    """LRU + optional disk memo for :class:`repro.radio.link.SnrProfile`."""
+
+    def __init__(self, maxsize: int = 128,
+                 cache_dir: str | Path | None = None) -> None:
+        if maxsize < 1:
+            raise ConfigurationError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            if self.cache_dir.exists() and not self.cache_dir.is_dir():
+                raise ConfigurationError(
+                    f"cache dir {str(self.cache_dir)!r} exists and is not a directory")
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._memory: OrderedDict[str, SnrProfile] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # -- lookup -------------------------------------------------------------
+
+    def get(self, scenario: Scenario) -> SnrProfile | None:
+        """Return the cached profile for ``scenario`` or ``None`` on a miss."""
+        key = scenario.content_hash
+        with self._lock:
+            profile = self._memory.get(key)
+            if profile is not None:
+                self._memory.move_to_end(key)
+                self.hits += 1
+                return profile
+        profile = self._load_disk(key)
+        with self._lock:
+            if profile is not None:
+                self._remember(key, profile)
+                self.hits += 1
+                return profile
+            self.misses += 1
+            return None
+
+    def put(self, scenario: Scenario, profile: SnrProfile) -> None:
+        """Store a computed profile under the scenario's hash."""
+        key = scenario.content_hash
+        with self._lock:
+            self._remember(key, profile)
+        if self.cache_dir is not None:
+            arrays = {name: getattr(profile, name) for name in _PROFILE_FIELDS}
+            # Write-then-rename so an interrupted run never leaves a torn
+            # .npz behind for later runs to choke on.
+            tmp_path = self.cache_dir / f".{key}.{os.getpid()}.tmp.npz"
+            try:
+                np.savez(tmp_path, **arrays)
+                os.replace(tmp_path, self.cache_dir / f"{key}.npz")
+            finally:
+                tmp_path.unlink(missing_ok=True)
+
+    def get_or_compute(self, scenario: Scenario) -> SnrProfile:
+        """Cached profile, evaluating (and storing) on a miss."""
+        profile = self.get(scenario)
+        if profile is None:
+            profile = scenario.evaluate()
+            self.put(scenario, profile)
+        return profile
+
+    # -- internals ----------------------------------------------------------
+
+    def _remember(self, key: str, profile: SnrProfile) -> None:
+        self._memory[key] = profile
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.maxsize:
+            self._memory.popitem(last=False)
+
+    def _load_disk(self, key: str) -> SnrProfile | None:
+        if self.cache_dir is None:
+            return None
+        path = self.cache_dir / f"{key}.npz"
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as data:
+                return SnrProfile(**{name: data[name] for name in _PROFILE_FIELDS})
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            # A corrupt or foreign file is a miss, not a crash; recompute
+            # (and the fresh put() overwrites it atomically).
+            return None

@@ -1,0 +1,135 @@
+"""Scenario grids: expand sweep axes into batches of scenarios.
+
+The paper's core sweep evaluates Eq. (2) over an (ISD x N) candidate grid;
+robustness and ablation studies add link-parameter perturbations (EIRP,
+noise-figure) on top.  :class:`ScenarioGrid` captures those axes declaratively
+and expands them into a flat scenario batch for
+:func:`repro.radio.batch.evaluate_scenarios`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro import constants
+from repro.corridor.layout import CorridorLayout
+from repro.errors import GeometryError
+from repro.radio.link import LinkParams
+from repro.scenario.spec import Scenario
+
+__all__ = ["ScenarioGrid", "isd_candidates"]
+
+
+def isd_candidates(n_repeaters: int,
+                   spacing_m: float = constants.LP_NODE_SPACING_M,
+                   isd_step_m: float = constants.ISD_STEP_M,
+                   isd_max_m: float = 4000.0) -> np.ndarray:
+    """Candidate ISDs of the paper's sweep for one repeater count.
+
+    Walks up in ``isd_step_m`` steps from the smallest geometry that fits the
+    repeater field (identical to the seed ``max_isd_for_n`` candidate set).
+    """
+    min_isd = spacing_m * max(0, n_repeaters - 1) + 2.0 * isd_step_m
+    return np.arange(max(isd_step_m, min_isd), isd_max_m + isd_step_m / 2,
+                     isd_step_m)
+
+
+@dataclass(frozen=True)
+class ScenarioGrid:
+    """Cartesian sweep axes over geometry and link perturbations.
+
+    Axes multiply: ``len(isd_values_m) * len(n_values) * len(hp_eirp_offsets_db)
+    * len(lp_eirp_offsets_db) * len(noise_figure_offsets_db)`` scenarios, minus
+    geometrically infeasible (ISD, N) combinations when ``skip_infeasible``.
+    """
+
+    isd_values_m: tuple[float, ...]
+    n_values: tuple[int, ...] = (0,)
+    spacing_m: float = constants.LP_NODE_SPACING_M
+    link: LinkParams = field(default_factory=LinkParams)
+    resolution_m: float = 1.0
+    hp_eirp_offsets_db: tuple[float, ...] = (0.0,)
+    lp_eirp_offsets_db: tuple[float, ...] = (0.0,)
+    noise_figure_offsets_db: tuple[float, ...] = (0.0,)
+    skip_infeasible: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "isd_values_m",
+                           tuple(float(v) for v in self.isd_values_m))
+        object.__setattr__(self, "n_values", tuple(int(v) for v in self.n_values))
+
+    @classmethod
+    def isd_sweep(cls, n_repeaters: int,
+                  link: LinkParams | None = None,
+                  spacing_m: float = constants.LP_NODE_SPACING_M,
+                  isd_step_m: float = constants.ISD_STEP_M,
+                  isd_max_m: float = 4000.0,
+                  resolution_m: float = 1.0) -> "ScenarioGrid":
+        """The candidate axis of ``max_isd_for_n`` as a grid."""
+        candidates = isd_candidates(n_repeaters, spacing_m, isd_step_m, isd_max_m)
+        return cls(isd_values_m=tuple(float(c) for c in candidates),
+                   n_values=(n_repeaters,), spacing_m=spacing_m,
+                   link=link or LinkParams(), resolution_m=resolution_m)
+
+    def _link_variants(self) -> list[LinkParams]:
+        variants = []
+        for hp_off, lp_off, nf_off in itertools.product(
+                self.hp_eirp_offsets_db, self.lp_eirp_offsets_db,
+                self.noise_figure_offsets_db):
+            if hp_off == 0.0 and lp_off == 0.0 and nf_off == 0.0:
+                variants.append(self.link)
+            else:
+                variants.append(replace(
+                    self.link,
+                    hp_eirp_dbm=self.link.hp_eirp_dbm + hp_off,
+                    lp_eirp_dbm=self.link.lp_eirp_dbm + lp_off,
+                    terminal_noise_figure_db=(
+                        self.link.terminal_noise_figure_db + nf_off),
+                ))
+        return variants
+
+    def build(self) -> tuple[Scenario, ...]:
+        """Expand every axis combination into a flat scenario tuple.
+
+        Geometry-major order: scenarios that share a layout (link
+        perturbations) are adjacent, which lets the batch engine reuse one
+        attenuation computation per unique geometry.
+        """
+        variants = self._link_variants()
+        scenarios: list[Scenario] = []
+        for n, isd in itertools.product(self.n_values, self.isd_values_m):
+            try:
+                layout = CorridorLayout.with_uniform_repeaters(
+                    isd, n, self.spacing_m)
+            except GeometryError:
+                if self.skip_infeasible:
+                    continue
+                raise
+            scenarios.extend(
+                Scenario(layout=layout, link=link, resolution_m=self.resolution_m)
+                for link in variants)
+        return tuple(scenarios)
+
+    def _geometry_feasible(self, n: int, isd: float) -> bool:
+        """Arithmetic mirror of the layout constructor's feasibility checks."""
+        if isd <= 0:
+            return False
+        if n == 0:
+            return True
+        if self.spacing_m <= 0:
+            return False
+        return isd - (n - 1) * self.spacing_m > 0
+
+    def __len__(self) -> int:
+        """Scenario count without expanding the cartesian product."""
+        n_variants = (len(self.hp_eirp_offsets_db) * len(self.lp_eirp_offsets_db)
+                      * len(self.noise_figure_offsets_db))
+        if not self.skip_infeasible:
+            return len(self.n_values) * len(self.isd_values_m) * n_variants
+        n_geometries = sum(
+            1 for n in self.n_values for isd in self.isd_values_m
+            if self._geometry_feasible(n, isd))
+        return n_geometries * n_variants

@@ -1,0 +1,104 @@
+"""Frozen evaluation scenario: layout + link parameters + grid resolution.
+
+A :class:`Scenario` pins down everything :func:`repro.radio.link.compute_snr_profile`
+needs, so an Eq. (2) evaluation becomes a pure function of the scenario.  Each
+scenario exposes a stable content hash over all of its fields, which the batch
+engine (:mod:`repro.radio.batch`) and the profile cache
+(:mod:`repro.scenario.cache`) use as identity: two scenarios with equal hashes
+produce bit-identical profiles.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field, fields, is_dataclass
+
+import numpy as np
+
+from repro import constants
+from repro.corridor.layout import CorridorLayout
+from repro.errors import ConfigurationError
+from repro.radio.link import LinkParams, SnrProfile, compute_snr_profile
+
+__all__ = ["Scenario", "content_token"]
+
+
+def content_token(obj) -> str:
+    """Canonical, repr-stable token of a parameter object.
+
+    Recurses through dataclasses, enums, tuples/lists and numpy scalars;
+    floats are rendered with ``float.hex`` so the token is exact (no rounding
+    ambiguity between values that print alike).
+    """
+    if is_dataclass(obj) and not isinstance(obj, type):
+        inner = ",".join(
+            f"{f.name}={content_token(getattr(obj, f.name))}" for f in fields(obj))
+        return f"{type(obj).__name__}({inner})"
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__name__}.{obj.name}"
+    if isinstance(obj, bool) or obj is None or isinstance(obj, (int, str)):
+        return repr(obj)
+    if isinstance(obj, (float, np.floating)):
+        return float(obj).hex()
+    if isinstance(obj, (tuple, list)):
+        return "(" + ",".join(content_token(v) for v in obj) + ")"
+    if isinstance(obj, np.ndarray):
+        return "(" + ",".join(content_token(v) for v in obj.tolist()) + ")"
+    raise ConfigurationError(
+        f"cannot build a content token for {type(obj).__name__!r}")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully specified Eq. (2) evaluation.
+
+    Attributes
+    ----------
+    layout:
+        The corridor geometry (HP masts + repeater field).
+    link:
+        Link-budget parameters, including the noise model.
+    resolution_m:
+        Track position grid step of the evaluation.
+    """
+
+    layout: CorridorLayout
+    link: LinkParams = field(default_factory=LinkParams)
+    resolution_m: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.resolution_m <= 0:
+            raise ConfigurationError(
+                f"resolution must be positive, got {self.resolution_m}")
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def uniform(cls, isd_m: float, n_repeaters: int,
+                spacing_m: float = constants.LP_NODE_SPACING_M,
+                link: LinkParams | None = None,
+                resolution_m: float = 1.0) -> "Scenario":
+        """The paper's geometry wrapped in a scenario."""
+        layout = CorridorLayout.with_uniform_repeaters(isd_m, n_repeaters, spacing_m)
+        return cls(layout=layout, link=link or LinkParams(),
+                   resolution_m=resolution_m)
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def content_hash(self) -> str:
+        """SHA-256 over every field; stable across processes and sessions."""
+        return hashlib.sha256(content_token(self).encode()).hexdigest()
+
+    # -- evaluation ---------------------------------------------------------
+
+    def positions_m(self) -> np.ndarray:
+        """The track position grid this scenario is evaluated on."""
+        return np.arange(self.resolution_m, float(self.layout.isd_m),
+                         self.resolution_m)
+
+    def evaluate(self) -> SnrProfile:
+        """Single-scenario evaluation via the reference Eq. (2) path."""
+        return compute_snr_profile(self.layout, self.link,
+                                   resolution_m=self.resolution_m)

@@ -155,3 +155,34 @@ class TestRunner:
         results = run_all(output_dir=tmp_path, ids=["table2", "table3"])
         assert set(results) == {"table2", "table3"}
         assert (tmp_path / "table2.csv").exists()
+
+
+class TestRunnerKwargs:
+    def test_progress_callback_invoked(self):
+        seen = []
+        run_all(ids=["table2", "table3"],
+                progress=lambda i, total, eid: seen.append((i, total, eid)))
+        assert seen == [(1, 2, "table2"), (2, 2, "table3")]
+
+    def test_kwargs_forwarded_to_runner(self):
+        # fig3 accepts resolution_m; a coarser grid halves the series length.
+        fine = run_experiment("fig3")
+        coarse = run_experiment("fig3", resolution_m=2.0)
+        assert coarse.profile.positions_m.size < fine.profile.positions_m.size
+
+    def test_unaccepted_kwargs_dropped(self):
+        # table2 takes no engine options; they must be ignored, not raise.
+        result = run_experiment("table2", jobs=2, cache=None)
+        assert hasattr(result, "table")
+
+    def test_engine_options_reach_sweep(self, tmp_path):
+        from repro.scenario import ProfileCache
+
+        cache = ProfileCache(maxsize=512, cache_dir=tmp_path)
+        run_experiment("maxisd", resolution_m=8.0, cache=cache)
+        assert cache.misses > 0
+        assert any(tmp_path.iterdir())
+
+    def test_typo_kwargs_raise(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("maxisd", exhuastive=True)  # typo'd override

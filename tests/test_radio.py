@@ -193,3 +193,63 @@ class TestSnrProfile:
     def test_mean_snr_above_min(self, fig3_layout):
         profile = compute_snr_profile(fig3_layout)
         assert profile.mean_snr_db > profile.min_snr_db
+
+
+class TestChainHopAssignment:
+    """FRONTHAUL_CHAIN relay geometry, pinned for an asymmetric field."""
+
+    def test_asymmetric_field_hops(self):
+        from repro.radio.link import chain_hop_assignment
+
+        layout = CorridorLayout(2400.0, (300.0, 500.0, 2000.0))
+        hops, first_hop, spacing = chain_hop_assignment(layout)
+        # Nodes at 300 m and 500 m chain from the left mast (ranks 0 and 1);
+        # the node at 2000 m is adjacent to the right mast (rank 0).
+        assert hops.tolist() == [0.0, 1.0, 0.0]
+        # Hop length is the smallest node gap (500 -> 300).
+        assert spacing == 200.0
+        # First hop: donor-to-chain-start gap, minus the accumulated hops.
+        assert first_hop.tolist() == [300.0, 300.0, 400.0]
+
+    def test_symmetric_field_splits_between_masts(self):
+        from repro.radio.link import chain_hop_assignment
+
+        layout = CorridorLayout.with_uniform_repeaters(2400.0, 8)
+        hops, first_hop, spacing = chain_hop_assignment(layout)
+        assert spacing == 200.0
+        # Four nodes chain from each mast with hop counts 0..3.
+        assert hops.tolist() == [0.0, 1.0, 2.0, 3.0, 3.0, 2.0, 1.0, 0.0]
+        # Every chain starts at the 500 m edge gap.
+        assert first_hop.tolist() == pytest.approx([500.0] * 8)
+
+    def test_single_node_uses_default_spacing(self):
+        from repro.radio.link import chain_hop_assignment
+
+        layout = CorridorLayout(1000.0, (400.0,))
+        hops, first_hop, spacing = chain_hop_assignment(layout)
+        assert hops.tolist() == [0.0]
+        assert first_hop.tolist() == [400.0]
+        assert spacing == constants.LP_NODE_SPACING_M
+
+    def test_chain_noise_matches_assignment(self):
+        """The chain noise term must be rebuildable from the hop assignment."""
+        from repro.propagation.fronthaul import FronthaulBudget
+        from repro.radio.link import chain_hop_assignment
+
+        layout = CorridorLayout(2400.0, (300.0, 500.0, 2000.0))
+        link = LinkParams(
+            repeater_noise_model=RepeaterNoiseModel.FRONTHAUL_CHAIN)
+        profile = compute_snr_profile(layout, link, resolution_m=5.0)
+
+        hops, first_hop, spacing = chain_hop_assignment(layout)
+        budget = FronthaulBudget(link.fronthaul)
+        snr_fh = budget.chain_output_snr_linear(first_hop, hops, spacing)
+        rstp_mw = 10.0 ** (link.lp_rstp_dbm / 10.0)
+        positions = profile.positions_m
+        att = np.stack([
+            link.lp_friis().attenuation_linear(np.abs(positions - rp))
+            for rp in layout.repeater_positions_m])
+        expected_mw = (10.0 ** (link.terminal_noise_dbm / 10.0)
+                       + np.sum((rstp_mw / snr_fh)[:, None] / att, axis=0))
+        assert profile.total_noise_dbm == pytest.approx(
+            10.0 * np.log10(expected_mw), abs=1e-9)

@@ -121,3 +121,19 @@ class TestCli:
         assert main(["table3", "--csv", str(tmp_path), "--quiet"]) == 0
         assert (tmp_path / "table3.csv").exists()
         assert capsys.readouterr().out == ""
+
+
+class TestCliEngineFlags:
+    def test_jobs_flag(self, capsys):
+        assert main(["fig3", "--jobs", "2", "--quiet"]) == 0
+
+    def test_cache_dir_flag(self, tmp_path, capsys):
+        cache_dir = tmp_path / "profiles"
+        assert main(["fig3", "--cache-dir", str(cache_dir), "--quiet"]) == 0
+        assert any(cache_dir.iterdir())
+        # Second run hits the persisted cache (same experiment, same scenario).
+        assert main(["fig3", "--cache-dir", str(cache_dir), "--quiet"]) == 0
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(SystemExit):
+            main(["fig3", "--jobs", "0"])
