@@ -49,7 +49,7 @@ def _scalar_seed_sweep(n_max: int = 10, resolution_m: float = 1.0,
     return max_isd, min_snr
 
 
-def bench_batch_sweep_speedup(benchmark):
+def bench_batch_sweep_speedup(benchmark, bench_json):
     t0 = time.perf_counter()
     scalar_isd, scalar_snr = _scalar_seed_sweep()
     scalar_s = time.perf_counter() - t0
@@ -66,6 +66,13 @@ def bench_batch_sweep_speedup(benchmark):
     # neighbours and unstable clocks, so the timing threshold is advisory
     # there (the numeric-equality assertions above always hold).
     speedup = scalar_s / batched_s
+    bench_json("sweep", {
+        "grid": {"n_max": 10, "resolution_m": 1.0},
+        "scalar_s": scalar_s,
+        "batched_s": batched_s,
+        "speedup": speedup,
+        "threshold": 3.0,
+    })
     if os.environ.get("CI"):
         print(f"batched sweep speedup: {speedup:.1f}x (threshold not "
               "enforced under CI)")

@@ -8,4 +8,34 @@ doubles as an end-to-end verification pass:
 
 Slow experiments use ``benchmark.pedantic`` with a single round; fast kernels
 let pytest-benchmark calibrate itself.
+
+When ``BENCH_JSON_DIR`` is set, speedup benchmarks additionally emit
+``BENCH_<name>.json`` files (wall times and speedup ratios) through the
+``bench_json`` fixture; CI uploads that directory as a workflow artifact so
+the performance trajectory is tracked across PRs.
 """
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture
+def bench_json():
+    """Writer for ``$BENCH_JSON_DIR/BENCH_<name>.json`` perf records.
+
+    A no-op when ``BENCH_JSON_DIR`` is unset, so local benchmark runs need no
+    extra setup.
+    """
+    def write(name: str, payload: dict) -> None:
+        out_dir = os.environ.get("BENCH_JSON_DIR")
+        if not out_dir:
+            return
+        path = Path(out_dir)
+        path.mkdir(parents=True, exist_ok=True)
+        with open(path / f"BENCH_{name}.json", "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+
+    return write

@@ -14,9 +14,11 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.experiments.runner import ALL_EXPERIMENTS, run_all, run_experiment
 from repro.scenario.cache import ProfileCache
+from repro.solar.batch import WeatherCache
 
 __all__ = ["main", "build_parser"]
 
@@ -53,9 +55,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         metavar="DIR",
         default=None,
-        help="persist evaluated SNR profiles to DIR (reused across runs)",
+        help="persist evaluated SNR profiles (and synthesized weather years, "
+             "under DIR/weather) to DIR, reused across runs",
+    )
+    parser.add_argument(
+        "--pv-peaks",
+        metavar="W[,W...]",
+        default=None,
+        help="PV peak-power axis [Wp] of the table4-grid candidate sweep, "
+             "comma separated (e.g. 360,540,720)",
+    )
+    parser.add_argument(
+        "--battery-whs",
+        metavar="WH[,WH...]",
+        default=None,
+        help="battery-capacity axis [Wh] of the table4-grid candidate sweep, "
+             "comma separated (e.g. 720,1440,2160)",
     )
     return parser
+
+
+def _parse_axis(text: str, flag: str) -> tuple[float, ...]:
+    try:
+        values = tuple(float(v) for v in text.split(",") if v.strip())
+    except ValueError:
+        raise SystemExit(f"{flag} expects comma-separated numbers, got {text!r}")
+    if not values or any(v <= 0 for v in values):
+        raise SystemExit(f"{flag} expects positive values, got {text!r}")
+    return values
 
 
 def _print_result(experiment_id: str, result, quiet: bool) -> None:
@@ -77,6 +104,12 @@ def _engine_kwargs(args: argparse.Namespace) -> dict:
         kwargs["jobs"] = args.jobs
     if args.cache_dir is not None:
         kwargs["cache"] = ProfileCache(maxsize=1024, cache_dir=args.cache_dir)
+        kwargs["weather_cache"] = WeatherCache(
+            maxsize=256, cache_dir=Path(args.cache_dir) / "weather")
+    if args.pv_peaks is not None:
+        kwargs["pv_peaks"] = _parse_axis(args.pv_peaks, "--pv-peaks")
+    if args.battery_whs is not None:
+        kwargs["battery_whs"] = _parse_axis(args.battery_whs, "--battery-whs")
     return kwargs
 
 

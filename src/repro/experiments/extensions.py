@@ -231,14 +231,20 @@ class LifetimeExperiment:
                 "outcome": [r[3] for r in self.rows]}
 
 
-def run_lifetime(service_years: int = 10) -> LifetimeExperiment:
-    """Project the Table IV configurations across their service life."""
+def run_lifetime(service_years: int = 10, weather_cache=None) -> LifetimeExperiment:
+    """Project the Table IV configurations across their service life.
+
+    All service years of one configuration run as a single batched off-grid
+    engine pass (:mod:`repro.solar.batch`); ``weather_cache`` optionally
+    persists the per-year weather tensors across runs.
+    """
     configs = {"madrid": (540.0, 720.0), "lyon": (540.0, 720.0),
                "vienna": (540.0, 1440.0), "berlin": (600.0, 1440.0)}
     rows = []
     for key, (pv, battery) in configs.items():
         result = project_lifetime(LOCATIONS[key], pv, battery,
-                                  service_years=service_years)
+                                  service_years=service_years,
+                                  weather_cache=weather_cache)
         year = result.first_downtime_year
         outcome = "zero downtime" if year is None else f"downtime in year {year}"
         rows.append((LOCATIONS[key].name, pv, battery, outcome))

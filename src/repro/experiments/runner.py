@@ -33,13 +33,16 @@ from repro.experiments.maxisd import run_maxisd
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
 from repro.experiments.table3 import run_table3
-from repro.experiments.table4 import run_table4
+from repro.experiments.table4 import run_table4, run_table4_grid
 from repro.reporting.series import write_csv
 
 __all__ = ["ALL_EXPERIMENTS", "ENGINE_KWARGS", "run_experiment", "run_all"]
 
 #: Shared engine options every experiment may receive (and may ignore).
-ENGINE_KWARGS = frozenset({"jobs", "cache", "exhaustive"})
+#: ``weather_cache`` memoizes off-grid weather-year tensors; ``pv_peaks`` /
+#: ``battery_whs`` set the candidate axes of the ``table4-grid`` sweep.
+ENGINE_KWARGS = frozenset({"jobs", "cache", "exhaustive", "weather_cache",
+                           "pv_peaks", "battery_whs"})
 
 
 @dataclass(frozen=True)
@@ -78,6 +81,8 @@ ALL_EXPERIMENTS: dict[str, ExperimentSpec] = {
         ExperimentSpec("table2", "EARTH power-model parameters", run_table2),
         ExperimentSpec("table3", "Traffic scenario and duty cycles", run_table3),
         ExperimentSpec("table4", "Off-grid PV dimensioning, four regions", run_table4),
+        ExperimentSpec("table4-grid", "Off-grid candidate grid (PV x battery), four regions",
+                       run_table4_grid),
         ExperimentSpec("abl-noise", "Ablation: repeater-noise models", run_noise_ablation),
         ExperimentSpec("abl-place", "Ablation: repeater placement", run_placement_ablation),
         ExperimentSpec("abl-sleep", "Ablation: wake-transition time", run_sleep_ablation),

@@ -12,11 +12,12 @@ from dataclasses import dataclass
 
 from repro import constants
 from repro.reporting.tables import format_table
+from repro.solar.batch import candidate_grid, simulate_candidates
 from repro.solar.climates import LOCATIONS
-from repro.solar.offgrid import LoadProfile
+from repro.solar.offgrid import LoadProfile, OffGridResult
 from repro.solar.sizing import SizingResult, find_minimal_system
 
-__all__ = ["Table4Result", "run_table4"]
+__all__ = ["Table4Result", "run_table4", "Table4GridResult", "run_table4_grid"]
 
 #: Location order as printed in the paper.
 LOCATION_ORDER = ("madrid", "lyon", "vienna", "berlin")
@@ -63,8 +64,90 @@ class Table4Result:
         return sorted(keys, key=lambda k: -self.sizings[k].result.full_battery_days_pct)
 
 
-def run_table4(load: LoadProfile | None = None, seed: int = 2022) -> Table4Result:
-    """Run the sizing search at all four locations."""
-    sizings = {key: find_minimal_system(LOCATIONS[key], load=load, seed=seed)
+def run_table4(load: LoadProfile | None = None, seed: int = 2022,
+               weather_cache=None) -> Table4Result:
+    """Run the sizing search at all four locations.
+
+    Each location's candidate ladder is evaluated in one batched pass
+    (:mod:`repro.solar.batch`); ``weather_cache`` optionally persists the
+    synthesized weather years across runs.
+    """
+    sizings = {key: find_minimal_system(LOCATIONS[key], load=load, seed=seed,
+                                        weather_cache=weather_cache)
                for key in LOCATION_ORDER}
     return Table4Result(sizings=sizings)
+
+
+#: Default candidate-grid axes for ``table4-grid``: a denser sweep around the
+#: paper's 5-rung ladder (PV peaks around the 1-4 module range x battery
+#: banks from the standard 720 Wh to triple capacity).
+DEFAULT_PV_PEAKS_W = (360.0, 420.0, 480.0, 540.0, 600.0, 660.0, 720.0)
+DEFAULT_BATTERY_WHS = (720.0, 1080.0, 1440.0, 1800.0, 2160.0)
+
+
+@dataclass(frozen=True)
+class Table4GridResult:
+    """Zero-downtime feasibility over a full (PV peak × battery Wh) grid."""
+
+    pv_peaks_w: tuple[float, ...]
+    battery_whs: tuple[float, ...]
+    #: ``results[location_key][(pv_peak_w, battery_wh)]`` for every combo.
+    results: dict[str, dict[tuple[float, float], OffGridResult]]
+
+    def minimal_battery_wh(self, location_key: str, pv_peak_w: float) -> float | None:
+        """Smallest zero-downtime battery for a PV size (None if infeasible)."""
+        feasible = [wh for wh in self.battery_whs
+                    if self.results[location_key][(pv_peak_w, wh)].zero_downtime]
+        return min(feasible) if feasible else None
+
+    def series(self) -> dict[str, list]:
+        keys = [k for k in LOCATION_ORDER if k in self.results]
+        rows = [(k, pv, wh, self.results[k][(pv, wh)])
+                for k in keys for pv in self.pv_peaks_w for wh in self.battery_whs]
+        return {
+            "location": [k for k, _, _, _ in rows],
+            "pv_peak_w": [pv for _, pv, _, _ in rows],
+            "battery_wh": [wh for _, _, wh, _ in rows],
+            "zero_downtime": [int(r.zero_downtime) for _, _, _, r in rows],
+            "unmet_hours": [r.unmet_hours for _, _, _, r in rows],
+            "full_battery_days_pct": [r.full_battery_days_pct for _, _, _, r in rows],
+            "annual_pv_kwh": [r.annual_pv_kwh for _, _, _, r in rows],
+        }
+
+    def table(self) -> str:
+        rows = []
+        for key in LOCATION_ORDER:
+            if key not in self.results:
+                continue
+            for pv in self.pv_peaks_w:
+                minimal = self.minimal_battery_wh(key, pv)
+                feasible = sum(self.results[key][(pv, wh)].zero_downtime
+                               for wh in self.battery_whs)
+                rows.append([LOCATIONS[key].name, pv,
+                             "-" if minimal is None else minimal,
+                             f"{feasible}/{len(self.battery_whs)}"])
+        return format_table(
+            ["location", "PV [Wp]", "min zero-downtime battery [Wh]", "feasible"],
+            rows, title="Table IV grid: zero-downtime frontier over the "
+                        "(PV peak x battery) candidate grid")
+
+
+def run_table4_grid(pv_peaks=None, battery_whs=None,
+                    load: LoadProfile | None = None, seed: int = 2022,
+                    weather_cache=None) -> Table4GridResult:
+    """Sweep a full (PV peak × battery Wh) grid at all four locations.
+
+    The whole grid — every candidate at every location — is evaluated as one
+    batched engine pass per location sharing four cached weather tensors,
+    which is what makes sweeps far beyond the paper's 5-rung ladder cheap.
+    """
+    pv_peaks = tuple(float(v) for v in (pv_peaks or DEFAULT_PV_PEAKS_W))
+    battery_whs = tuple(float(v) for v in (battery_whs or DEFAULT_BATTERY_WHS))
+    candidates = candidate_grid(pv_peaks, battery_whs)
+    results: dict[str, dict[tuple[float, float], OffGridResult]] = {}
+    for key in LOCATION_ORDER:
+        evaluated = simulate_candidates(LOCATIONS[key], candidates, load=load,
+                                        seed=seed, weather_cache=weather_cache)
+        results[key] = dict(zip(candidates, evaluated))
+    return Table4GridResult(pv_peaks_w=pv_peaks, battery_whs=battery_whs,
+                            results=results)

@@ -4,19 +4,22 @@
   evaluation with a stable content hash.
 * :mod:`repro.scenario.grid` — :class:`ScenarioGrid`, declarative sweep axes
   (ISD x N x link perturbations) expanded into scenario batches.
-* :mod:`repro.scenario.cache` — :class:`ProfileCache`, LRU + disk memo of
-  evaluated profiles keyed by scenario hash.
+* :mod:`repro.scenario.cache` — :class:`ArrayCache`, the generic LRU + disk
+  memo machinery, and :class:`ProfileCache`, its specialization for evaluated
+  profiles keyed by scenario hash (the off-grid weather memo
+  :class:`repro.solar.batch.WeatherCache` builds on the same base).
 
 The batch evaluator that consumes these lives in :mod:`repro.radio.batch`.
 """
 
 from repro.scenario.spec import Scenario, content_token
 from repro.scenario.grid import ScenarioGrid, isd_candidates
-from repro.scenario.cache import ProfileCache
+from repro.scenario.cache import ArrayCache, ProfileCache
 
 __all__ = [
     "Scenario",
     "ScenarioGrid",
+    "ArrayCache",
     "ProfileCache",
     "content_token",
     "isd_candidates",

@@ -1,15 +1,21 @@
-"""Memoized Eq. (2) profiles keyed by scenario content hash.
+"""Memoized evaluation results keyed by content hash.
 
-Two layers:
+Two layers, shared by every cache in the repository:
 
 * an in-memory LRU (``maxsize`` entries) for hot loops such as the placement
   optimizer, which revisits the same layouts across coordinate-descent rounds;
-* an optional on-disk layer (``cache_dir``) that persists profiles as ``.npz``
+* an optional on-disk layer (``cache_dir``) that persists values as ``.npz``
   files named by hash, so repeated experiment runs (``repro maxisd
   --cache-dir ...``) skip the evaluation entirely.
 
-Cached profiles are bit-identical to fresh ones: the arrays are stored as
-float64 without any rounding.
+:class:`ArrayCache` is the generic machinery: it stores any value that can be
+packed into a named bundle of numpy arrays.  :class:`ProfileCache`
+specializes it for Eq. (2) :class:`~repro.radio.link.SnrProfile` objects; the
+off-grid weather memo (:class:`repro.solar.batch.WeatherCache`) builds on the
+same base for ``(days, 24)`` weather-year tensors.
+
+Cached values are bit-identical to fresh ones: the arrays are stored as-is
+without any rounding, and the in-memory layer returns the very same object.
 """
 
 from __future__ import annotations
@@ -26,14 +32,20 @@ from repro.errors import ConfigurationError
 from repro.radio.link import SnrProfile
 from repro.scenario.spec import Scenario
 
-__all__ = ["ProfileCache"]
+__all__ = ["ArrayCache", "ProfileCache"]
 
 _PROFILE_FIELDS = ("positions_m", "source_rsrp_dbm", "total_signal_dbm",
                    "total_noise_dbm", "snr_db")
 
 
-class ProfileCache:
-    """LRU + optional disk memo for :class:`repro.radio.link.SnrProfile`."""
+class ArrayCache:
+    """LRU + optional disk memo of values packable as named array bundles.
+
+    Subclasses define the value type via :meth:`_pack` (value → dict of
+    arrays, used by the disk layer) and :meth:`_unpack` (dict → value).  Keys
+    are content-hash strings; the in-memory layer keeps the original objects,
+    so repeated hits return identical instances.
+    """
 
     def __init__(self, maxsize: int = 128,
                  cache_dir: str | Path | None = None) -> None:
@@ -46,7 +58,7 @@ class ProfileCache:
                 raise ConfigurationError(
                     f"cache dir {str(self.cache_dir)!r} exists and is not a directory")
             self.cache_dir.mkdir(parents=True, exist_ok=True)
-        self._memory: OrderedDict[str, SnrProfile] = OrderedDict()
+        self._memory: OrderedDict[str, object] = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -54,33 +66,41 @@ class ProfileCache:
     def __len__(self) -> int:
         return len(self._memory)
 
+    # -- value packing (subclass contract) -----------------------------------
+
+    def _pack(self, value) -> dict[str, np.ndarray]:
+        """Named arrays to persist for ``value`` (disk layer)."""
+        raise NotImplementedError
+
+    def _unpack(self, arrays: dict[str, np.ndarray]):
+        """Rebuild a value from its persisted arrays (disk layer)."""
+        raise NotImplementedError
+
     # -- lookup -------------------------------------------------------------
 
-    def get(self, scenario: Scenario) -> SnrProfile | None:
-        """Return the cached profile for ``scenario`` or ``None`` on a miss."""
-        key = scenario.content_hash
+    def get_by_hash(self, key: str):
+        """Return the cached value for ``key`` or ``None`` on a miss."""
         with self._lock:
-            profile = self._memory.get(key)
-            if profile is not None:
+            value = self._memory.get(key)
+            if value is not None:
                 self._memory.move_to_end(key)
                 self.hits += 1
-                return profile
-        profile = self._load_disk(key)
+                return value
+        value = self._load_disk(key)
         with self._lock:
-            if profile is not None:
-                self._remember(key, profile)
+            if value is not None:
+                self._remember(key, value)
                 self.hits += 1
-                return profile
+                return value
             self.misses += 1
             return None
 
-    def put(self, scenario: Scenario, profile: SnrProfile) -> None:
-        """Store a computed profile under the scenario's hash."""
-        key = scenario.content_hash
+    def put_by_hash(self, key: str, value) -> None:
+        """Store a computed value under its content hash."""
         with self._lock:
-            self._remember(key, profile)
+            self._remember(key, value)
         if self.cache_dir is not None:
-            arrays = {name: getattr(profile, name) for name in _PROFILE_FIELDS}
+            arrays = self._pack(value)
             # Write-then-rename so an interrupted run never leaves a torn
             # .npz behind for later runs to choke on.
             tmp_path = self.cache_dir / f".{key}.{os.getpid()}.tmp.npz"
@@ -90,23 +110,15 @@ class ProfileCache:
             finally:
                 tmp_path.unlink(missing_ok=True)
 
-    def get_or_compute(self, scenario: Scenario) -> SnrProfile:
-        """Cached profile, evaluating (and storing) on a miss."""
-        profile = self.get(scenario)
-        if profile is None:
-            profile = scenario.evaluate()
-            self.put(scenario, profile)
-        return profile
-
     # -- internals ----------------------------------------------------------
 
-    def _remember(self, key: str, profile: SnrProfile) -> None:
-        self._memory[key] = profile
+    def _remember(self, key: str, value) -> None:
+        self._memory[key] = value
         self._memory.move_to_end(key)
         while len(self._memory) > self.maxsize:
             self._memory.popitem(last=False)
 
-    def _load_disk(self, key: str) -> SnrProfile | None:
+    def _load_disk(self, key: str):
         if self.cache_dir is None:
             return None
         path = self.cache_dir / f"{key}.npz"
@@ -114,8 +126,35 @@ class ProfileCache:
             return None
         try:
             with np.load(path) as data:
-                return SnrProfile(**{name: data[name] for name in _PROFILE_FIELDS})
-        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+                return self._unpack({name: data[name] for name in data.files})
+        except (OSError, ValueError, KeyError, TypeError, zipfile.BadZipFile):
             # A corrupt or foreign file is a miss, not a crash; recompute
             # (and the fresh put() overwrites it atomically).
             return None
+
+
+class ProfileCache(ArrayCache):
+    """LRU + optional disk memo for :class:`repro.radio.link.SnrProfile`,
+    keyed by :class:`~repro.scenario.spec.Scenario` content hash."""
+
+    def _pack(self, value: SnrProfile) -> dict[str, np.ndarray]:
+        return {name: getattr(value, name) for name in _PROFILE_FIELDS}
+
+    def _unpack(self, arrays: dict[str, np.ndarray]) -> SnrProfile:
+        return SnrProfile(**{name: arrays[name] for name in _PROFILE_FIELDS})
+
+    def get(self, scenario: Scenario) -> SnrProfile | None:
+        """Return the cached profile for ``scenario`` or ``None`` on a miss."""
+        return self.get_by_hash(scenario.content_hash)
+
+    def put(self, scenario: Scenario, profile: SnrProfile) -> None:
+        """Store a computed profile under the scenario's hash."""
+        self.put_by_hash(scenario.content_hash, profile)
+
+    def get_or_compute(self, scenario: Scenario) -> SnrProfile:
+        """Cached profile, evaluating (and storing) on a miss."""
+        profile = self.get(scenario)
+        if profile is None:
+            profile = scenario.evaluate()
+            self.put(scenario, profile)
+        return profile

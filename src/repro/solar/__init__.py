@@ -20,11 +20,19 @@ See DESIGN.md section 3 for the substitution rationale and calibration notes.
 
 from repro.solar.geometry import SolarGeometry, declination_rad, sunset_hour_angle_rad
 from repro.solar.climates import LOCATIONS, Location
-from repro.solar.irradiance import SyntheticWeather, WeatherParams, DayIrradiance
+from repro.solar.irradiance import SyntheticWeather, WeatherParams, DayIrradiance, WeatherYear
 from repro.solar.pv import PvArray
 from repro.solar.battery import Battery
 from repro.solar.offgrid import LoadProfile, OffGridResult, OffGridSystem, repeater_load_profile
 from repro.solar.sizing import SizingResult, find_minimal_system
+from repro.solar.batch import (
+    WeatherCache,
+    WeatherKey,
+    candidate_grid,
+    simulate_candidates,
+    simulate_systems,
+    synthesize_weather_year,
+)
 
 __all__ = [
     "SolarGeometry",
@@ -35,6 +43,13 @@ __all__ = [
     "WeatherParams",
     "SyntheticWeather",
     "DayIrradiance",
+    "WeatherYear",
+    "WeatherKey",
+    "WeatherCache",
+    "synthesize_weather_year",
+    "simulate_systems",
+    "simulate_candidates",
+    "candidate_grid",
     "PvArray",
     "Battery",
     "LoadProfile",

@@ -1,0 +1,301 @@
+"""Batched off-grid engine — the Table IV workload as (candidate × location)
+tensors.
+
+The scalar reference (:meth:`repro.solar.offgrid.OffGridSystem.simulate_year`)
+walks a Python ``for day / for hour`` double loop per system and re-runs the
+full synthetic-weather synthesis for every candidate.  This module removes
+both costs:
+
+* :func:`synthesize_weather_year` produces the whole year as one
+  ``(days, 24)`` plane-of-array tensor per ``(location, WeatherParams, seed,
+  start day)`` key and memoizes it in a :class:`WeatherCache` (the generic
+  :class:`~repro.scenario.cache.ArrayCache` machinery from the scenario
+  layer), so a sizing ladder, a candidate grid, or repeated experiment runs
+  synthesize each weather year exactly once;
+* :func:`simulate_systems` runs the clipped battery state-of-charge
+  recurrence with *time* as the only sequential axis, batched over a flat
+  ``[system]`` leading axis that callers lay out as candidate × location (or
+  service-year) grids.
+
+Every :class:`~repro.solar.offgrid.OffGridResult` out of the batched path is
+bit-identical to ``simulate_year`` on the same system — the recurrence uses
+the exact same operation order, only element-wise over the batch axis
+(asserted field-by-field in ``tests/test_solar_batch.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.scenario.cache import ArrayCache
+from repro.scenario.spec import content_token
+from repro.solar.battery import Battery
+from repro.solar.climates import Location, months_of_days
+from repro.solar.irradiance import SyntheticWeather, WeatherParams, WeatherYear
+from repro.solar.offgrid import OffGridResult, OffGridSystem
+from repro.solar.pv import PvArray
+
+__all__ = [
+    "WeatherKey",
+    "WeatherCache",
+    "synthesize_weather_year",
+    "default_weather_cache",
+    "simulate_systems",
+    "simulate_candidates",
+    "candidate_grid",
+]
+
+
+@dataclass(frozen=True)
+class WeatherKey:
+    """Everything that determines a synthesized weather year.
+
+    Hashing the full parameter content (same ``content_token`` scheme as
+    :class:`~repro.scenario.spec.Scenario`) makes the key stable across
+    processes, so the disk layer of :class:`WeatherCache` can be shared
+    between runs.
+    """
+
+    location: Location
+    params: WeatherParams
+    seed: int
+    days: int
+    start_day_of_year: int
+    #: The full module geometry — including its latitude, which may be
+    #: overridden independently of the location's.
+    latitude_deg: float
+    tilt_deg: float
+    azimuth_deg: float
+
+    @classmethod
+    def for_weather(cls, weather: SyntheticWeather, days: int,
+                    start_day_of_year: int) -> "WeatherKey":
+        return cls(location=weather.location, params=weather.params,
+                   seed=weather.seed, days=days,
+                   start_day_of_year=start_day_of_year,
+                   latitude_deg=weather.geometry.latitude_deg,
+                   tilt_deg=weather.geometry.tilt_deg,
+                   azimuth_deg=weather.geometry.azimuth_deg)
+
+    @property
+    def content_hash(self) -> str:
+        """SHA-256 over every field; stable across processes and sessions."""
+        return hashlib.sha256(content_token(self).encode()).hexdigest()
+
+
+_WEATHER_FIELDS = ("day_of_year", "month", "kt", "ghi_w_m2", "poa_w_m2")
+
+
+class WeatherCache(ArrayCache):
+    """LRU + optional disk memo for :class:`WeatherYear` tensors, keyed by
+    :class:`WeatherKey` content hash."""
+
+    def _pack(self, value: WeatherYear) -> dict[str, np.ndarray]:
+        arrays = {name: getattr(value, name) for name in _WEATHER_FIELDS}
+        arrays["start_day_of_year"] = np.array(value.start_day_of_year)
+        return arrays
+
+    def _unpack(self, arrays: dict[str, np.ndarray]) -> WeatherYear:
+        return WeatherYear(start_day_of_year=int(arrays["start_day_of_year"]),
+                           **{name: arrays[name] for name in _WEATHER_FIELDS})
+
+    def get(self, key: WeatherKey) -> WeatherYear | None:
+        return self.get_by_hash(key.content_hash)
+
+    def put(self, key: WeatherKey, year: WeatherYear) -> None:
+        self.put_by_hash(key.content_hash, year)
+
+
+#: Process-wide default weather memo: a weather year is ~140 kB, so keeping a
+#: few dozen hot years costs single-digit megabytes and makes every sizing /
+#: degradation / grid call in a session share syntheses automatically.
+_DEFAULT_WEATHER_CACHE = WeatherCache(maxsize=64)
+
+
+def default_weather_cache() -> WeatherCache:
+    """The process-wide weather memo used when no cache is passed."""
+    return _DEFAULT_WEATHER_CACHE
+
+
+def synthesize_weather_year(location: Location,
+                            params: WeatherParams | None = None,
+                            seed: int = 2022,
+                            days: int = 365,
+                            start_day_of_year: int = 1,
+                            cache: WeatherCache | None = None) -> WeatherYear:
+    """One memoized ``(days, 24)`` weather-year tensor for a location.
+
+    ``params=None`` uses the location's calibrated weather character (same
+    resolution rule as :class:`~repro.solar.irradiance.SyntheticWeather`).
+    ``cache=None`` uses the process-wide default memo.
+    """
+    weather = SyntheticWeather(location, params=params, seed=seed)
+    return _weather_year_for(weather, days, start_day_of_year, cache)
+
+
+def _weather_year_for(weather: SyntheticWeather, days: int,
+                      start_day_of_year: int,
+                      cache: WeatherCache | None) -> WeatherYear:
+    cache = cache if cache is not None else _DEFAULT_WEATHER_CACHE
+    key = WeatherKey.for_weather(weather, days, start_day_of_year)
+    year = cache.get(key)
+    if year is None:
+        year = weather.year_tensor(days, start_day_of_year)
+        cache.put(key, year)
+    return year
+
+
+def candidate_grid(pv_peaks_w, battery_whs) -> tuple[tuple[float, float], ...]:
+    """Expand PV-peak × battery-capacity axes into a candidate list.
+
+    The grid is ordered battery-major within each PV size, matching the
+    cheapest-first walk of the sizing ladder.
+    """
+    candidates = tuple((float(pv), float(wh))
+                       for pv in pv_peaks_w for wh in battery_whs)
+    if not candidates:
+        raise ConfigurationError("candidate grid must not be empty")
+    return candidates
+
+
+def simulate_systems(systems,
+                     days: int = 365,
+                     initial_soc: float = 1.0,
+                     start_day_of_year: int | None = None,
+                     weather_cache: WeatherCache | None = None) -> list[OffGridResult]:
+    """Batched hourly energy balance over every system at once.
+
+    ``systems`` is a sequence of :class:`~repro.solar.offgrid.OffGridSystem`;
+    they may span locations, candidate sizes, seeds and loads.  Weather is
+    synthesized once per unique :class:`WeatherKey` (memoized through
+    ``weather_cache``); the battery recurrence then advances all systems one
+    hour per step with numpy element-wise operations whose order matches
+    :meth:`~repro.solar.offgrid.OffGridSystem.simulate_year` exactly, so the
+    returned results are bit-identical to the scalar path.
+    """
+    systems = list(systems)
+    if not systems:
+        return []
+    if days <= 0:
+        raise ConfigurationError(f"days must be positive, got {days}")
+    if not 0.0 <= initial_soc <= 1.0:
+        raise ConfigurationError(f"SoC must be in [0, 1], got {initial_soc}")
+    start = (OffGridSystem.START_DAY_OF_YEAR if start_day_of_year is None
+             else start_day_of_year)
+
+    # One weather synthesis per unique key; systems index into the pool.
+    pool: dict[str, WeatherYear] = {}
+    pv_powers = []
+    for system in systems:
+        weather = SyntheticWeather(system.location, params=system.weather,
+                                   seed=system.seed)
+        key = WeatherKey.for_weather(weather, days, start).content_hash
+        if key not in pool:
+            pool[key] = _weather_year_for(weather, days, start, weather_cache)
+        # Same element-wise conversion as the scalar path's per-day
+        # ``pv.power_w(day.poa_w_m2)`` calls, applied to the whole tensor.
+        pv_powers.append(system.pv.power_w(pool[key].poa_w_m2))
+
+    n = len(systems)
+    produced_w = np.stack(pv_powers, axis=-1)          # (days, 24, n)
+    demanded_w = np.array([s.load.hourly_w for s in systems]).T   # (24, n)
+    months = months_of_days((start - 1 + np.arange(days)) % 365 + 1)
+
+    capacity = np.array([s.battery.capacity_wh for s in systems])
+    efficiency = np.array([s.battery.charge_efficiency for s in systems])
+    cutoff = np.array([s.battery.discharge_cutoff for s in systems])
+    full_threshold = 1.0 - 1e-9
+
+    soc = np.full(n, float(initial_soc))
+    min_soc = soc.copy()
+    full_days = np.zeros(n, dtype=int)
+    unmet_hours = np.zeros(n, dtype=int)
+    unmet_wh = np.zeros(n)
+    annual_pv_wh = np.zeros(n)
+    annual_load_wh = np.zeros(n)
+    monthly_pv_wh = np.zeros((n, 12))
+    monthly_unmet = np.zeros((n, 12), dtype=int)
+
+    for day in range(days):
+        month = int(months[day])
+        became_full = np.zeros(n, dtype=bool)
+        day_power = produced_w[day]
+        for hour in range(24):
+            produced = day_power[hour]
+            demanded = demanded_w[hour]
+            annual_pv_wh += produced
+            annual_load_wh += demanded
+            monthly_pv_wh[:, month] += produced
+
+            # Both branches of the scalar if/else, merged element-wise.
+            charging = produced >= demanded
+            surplus = produced - demanded
+            absorbable_in = ((1.0 - soc) * capacity) / efficiency
+            taken = np.minimum(surplus, absorbable_in)
+            soc_charged = np.minimum(1.0, soc + (taken * efficiency) / capacity)
+
+            deficit = demanded - produced
+            usable = np.maximum(0.0, (soc - cutoff) * capacity)
+            delivered = np.minimum(deficit, usable)
+            soc_discharged = soc - delivered / capacity
+
+            soc = np.where(charging, soc_charged, soc_discharged)
+
+            # On the charge branch delivered == deficit, so the unmet test is
+            # automatically false there — no extra masking needed.
+            unmet = delivered < deficit - 1e-9
+            unmet_hours += unmet
+            unmet_wh += np.where(unmet, deficit - delivered, 0.0)
+            monthly_unmet[:, month] += unmet
+
+            became_full |= soc >= full_threshold
+            np.minimum(min_soc, soc, out=min_soc)
+        full_days += became_full
+
+    return [
+        OffGridResult(
+            location_name=system.location.name,
+            pv_peak_w=system.pv.peak_w,
+            battery_capacity_wh=system.battery.capacity_wh,
+            days=days,
+            full_battery_days=int(full_days[i]),
+            unmet_hours=int(unmet_hours[i]),
+            unmet_wh=float(unmet_wh[i]),
+            min_soc=float(min_soc[i]),
+            annual_pv_kwh=float(annual_pv_wh[i] / 1000.0),
+            annual_load_kwh=float(annual_load_wh[i] / 1000.0),
+            monthly_pv_kwh=tuple(monthly_pv_wh[i] / 1000.0),
+            monthly_unmet_hours=tuple(int(x) for x in monthly_unmet[i]),
+        )
+        for i, system in enumerate(systems)
+    ]
+
+
+def simulate_candidates(location: Location,
+                        candidates,
+                        load=None,
+                        weather: WeatherParams | None = None,
+                        seed: int = 2022,
+                        performance_ratio: float = 0.80,
+                        weather_cache: WeatherCache | None = None) -> list[OffGridResult]:
+    """Evaluate a whole (PV peak, battery Wh) candidate ladder in one pass.
+
+    Returns one :class:`~repro.solar.offgrid.OffGridResult` per candidate, in
+    order — the batched equivalent of calling ``simulate_year`` per rung.
+    """
+    systems = [
+        OffGridSystem(
+            location=location,
+            pv=PvArray(peak_w=pv_peak_w, performance_ratio=performance_ratio),
+            battery=Battery(capacity_wh=battery_wh),
+            load=load,
+            weather=weather,
+            seed=seed,
+        )
+        for pv_peak_w, battery_wh in candidates
+    ]
+    return simulate_systems(systems, weather_cache=weather_cache)

@@ -23,15 +23,29 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.solar.geometry import SolarGeometry
 
-__all__ = ["Location", "LOCATIONS", "MONTH_DAYS", "MONTH_FIRST_DOY"]
+__all__ = ["Location", "LOCATIONS", "MONTH_DAYS", "MONTH_FIRST_DOY",
+           "DOY_MONTH", "months_of_days"]
 
 #: Days per month (non-leap year — the simulation year has 365 days).
 MONTH_DAYS = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
 #: Day-of-year of the first day of each month.
 MONTH_FIRST_DOY = (1, 32, 60, 91, 121, 152, 182, 213, 244, 274, 305, 335)
 
+#: Month index (0..11) for each day-of-year, ``DOY_MONTH[doy - 1]``.  The
+#: simulation touches this mapping ~8760+ times per simulated year, so it is
+#: a precomputed lookup rather than a per-call scan over month boundaries.
+DOY_MONTH = np.repeat(np.arange(12), MONTH_DAYS)
+
 #: Months treated as "winter" for the reliability derate (Nov-Feb).
 WINTER_MONTHS = (0, 1, 10, 11)
+
+
+def months_of_days(day_of_year) -> np.ndarray:
+    """Month indices (0..11) for an array of days-of-year (1..365)."""
+    doy = np.asarray(day_of_year)
+    if doy.size and (doy.min() < 1 or doy.max() > 365):
+        raise ConfigurationError("day-of-year values must be in 1..365")
+    return DOY_MONTH[doy - 1]
 
 
 @dataclass(frozen=True)
@@ -90,24 +104,21 @@ class Location:
     def monthly_clearness_index(self, month: int) -> float:
         """Monthly mean clearness index KT = H / H0 from the embedded GHI."""
         geometry = SolarGeometry(self.latitude_deg)
-        doys = range(MONTH_FIRST_DOY[month], MONTH_FIRST_DOY[month] + MONTH_DAYS[month])
-        h0 = float(np.mean([geometry.daily_extraterrestrial_wh_m2(d) for d in doys]))
+        doys = np.arange(MONTH_FIRST_DOY[month], MONTH_FIRST_DOY[month] + MONTH_DAYS[month])
+        h0 = float(np.mean(geometry.daily_extraterrestrial_wh_m2(doys)))
         if h0 <= 0:
             raise ConfigurationError(f"{self.name}: zero extraterrestrial irradiation in month {month}")
         return self.mean_daily_ghi_wh_m2(month) / h0
+
+    def monthly_clearness_table(self) -> np.ndarray:
+        """All twelve monthly mean clearness indices as one array."""
+        return np.array([self.monthly_clearness_index(m) for m in range(12)])
 
     def month_of_day(self, day_of_year: int) -> int:
         """Month index (0..11) containing a day-of-year (1..365)."""
         if not 1 <= day_of_year <= 365:
             raise ConfigurationError(f"day-of-year must be 1..365, got {day_of_year}")
-        month = 11
-        for m in range(12):
-            if day_of_year < MONTH_FIRST_DOY[m]:
-                month = m - 1
-                break
-        else:
-            month = 11
-        return month
+        return int(DOY_MONTH[day_of_year - 1])
 
     def is_winter(self, month: int) -> bool:
         return month in WINTER_MONTHS

@@ -38,10 +38,11 @@ def eccentricity_factor(day_of_year) -> np.ndarray | float:
     return float(e0) if np.ndim(day_of_year) == 0 else e0
 
 
-def sunset_hour_angle_rad(latitude_rad: float, declination: float) -> float:
+def sunset_hour_angle_rad(latitude_rad: float, declination) -> np.ndarray | float:
     """Hour angle of sunset; clipped for polar day/night."""
-    x = -np.tan(latitude_rad) * np.tan(declination)
-    return float(np.arccos(np.clip(x, -1.0, 1.0)))
+    x = -np.tan(latitude_rad) * np.tan(np.asarray(declination, dtype=float))
+    out = np.arccos(np.clip(x, -1.0, 1.0))
+    return float(out) if np.ndim(declination) == 0 else out
 
 
 @dataclass(frozen=True)
@@ -96,14 +97,19 @@ class SolarGeometry:
                + np.cos(delta) * np.sin(beta) * np.sin(gamma) * np.sin(w))
         return float(out) if np.ndim(hour_angle_rad) == 0 else out
 
-    def daily_extraterrestrial_wh_m2(self, day_of_year: int) -> float:
-        """Daily extraterrestrial irradiation on the horizontal plane [Wh/m²]."""
+    def daily_extraterrestrial_wh_m2(self, day_of_year) -> np.ndarray | float:
+        """Daily extraterrestrial irradiation on the horizontal plane [Wh/m²].
+
+        Accepts a scalar day-of-year or an array of them (vectorized over the
+        day axis for the monthly clearness calibration).
+        """
         delta = declination_rad(day_of_year)
         phi = self.latitude_rad
         ws = sunset_hour_angle_rad(phi, delta)
         h0_j = (24.0 * 3600.0 / np.pi) * SOLAR_CONSTANT_W_M2 * eccentricity_factor(day_of_year) * (
             np.cos(phi) * np.cos(delta) * np.sin(ws) + ws * np.sin(phi) * np.sin(delta))
-        return float(max(0.0, h0_j) / 3600.0)
+        out = np.maximum(0.0, h0_j) / 3600.0
+        return float(out) if np.ndim(day_of_year) == 0 else out
 
     def hour_angles_rad(self, hours_solar_time) -> np.ndarray:
         """Hour angle for solar times in hours (12 = solar noon)."""

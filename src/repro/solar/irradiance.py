@@ -21,10 +21,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.solar.climates import Location
+from repro.solar.climates import WINTER_MONTHS, Location, months_of_days
 from repro.solar.geometry import SOLAR_CONSTANT_W_M2, SolarGeometry, eccentricity_factor
 
-__all__ = ["WeatherParams", "DayIrradiance", "SyntheticWeather", "erbs_diffuse_fraction"]
+__all__ = ["WeatherParams", "DayIrradiance", "WeatherYear", "SyntheticWeather",
+           "erbs_diffuse_fraction"]
 
 
 def erbs_diffuse_fraction(kt) -> np.ndarray | float:
@@ -86,6 +87,44 @@ class DayIrradiance:
         return float(np.sum(self.poa_w_m2))
 
 
+@dataclass(frozen=True)
+class WeatherYear:
+    """A full synthesized weather year as day-axis tensors.
+
+    The tensor twin of iterating :meth:`SyntheticWeather.year`: row ``i``
+    holds the same 24 hourly values as the ``i``-th :class:`DayIrradiance`
+    (bit-identical; asserted in the test suite).  This is the shape the
+    batched off-grid engine (:mod:`repro.solar.batch`) consumes and caches.
+    """
+
+    start_day_of_year: int
+    #: Day-of-year (1..365) of each simulated day, shape ``(days,)``.
+    day_of_year: np.ndarray
+    #: Month index (0..11) of each simulated day, shape ``(days,)``.
+    month: np.ndarray
+    #: Daily clearness index, shape ``(days,)``.
+    kt: np.ndarray
+    #: Hourly global horizontal irradiance [W/m²], shape ``(days, 24)``.
+    ghi_w_m2: np.ndarray
+    #: Hourly plane-of-array irradiance [W/m²], shape ``(days, 24)``.
+    poa_w_m2: np.ndarray
+
+    @property
+    def days(self) -> int:
+        return int(self.day_of_year.shape[0])
+
+    @property
+    def daily_poa_wh_m2(self) -> np.ndarray:
+        """Per-day plane-of-array irradiation [Wh/m²], shape ``(days,)``."""
+        return np.sum(self.poa_w_m2, axis=1)
+
+    def monthly_poa_kwh_m2(self) -> np.ndarray:
+        """Monthly plane-of-array irradiation sums [kWh/m²], shape ``(12,)``."""
+        sums = np.zeros(12)
+        np.add.at(sums, self.month, self.daily_poa_wh_m2 / 1000.0)
+        return sums
+
+
 @dataclass
 class SyntheticWeather:
     """Deterministic (seeded) synthetic weather for one location and module.
@@ -112,19 +151,25 @@ class SyntheticWeather:
     # -- daily clearness series ----------------------------------------------
 
     def daily_clearness(self, days: int = 365, start_day_of_year: int = 1) -> np.ndarray:
-        """AR(1) daily clearness-index series around the monthly means."""
+        """AR(1) daily clearness-index series around the monthly means.
+
+        Vectorized over the day axis: the whole innovation vector is drawn up
+        front (one generator call yields the same stream as per-day draws) and
+        the monthly means come from the precomputed DOY→month lookup; only the
+        AR(1) recursion itself stays sequential.
+        """
         rng = np.random.default_rng(self.seed)
         p = self.params
-        kt = np.empty(days)
-        z = 0.0
+        doys = (start_day_of_year - 1 + np.arange(days)) % 365 + 1
+        means = self.location.monthly_clearness_table()[months_of_days(doys)]
         innovation = np.sqrt(max(1e-12, 1.0 - p.rho**2))
+        eps = innovation * rng.standard_normal(days)
+        z = np.empty(days)
+        last = 0.0
         for i in range(days):
-            doy = (start_day_of_year - 1 + i) % 365 + 1
-            month = self.location.month_of_day(doy)
-            mean = self.location.monthly_clearness_index(month)
-            z = p.rho * z + innovation * rng.standard_normal()
-            kt[i] = np.clip(mean + p.sigma_kt * z, p.kt_min, p.kt_max)
-        return kt
+            last = p.rho * last + eps[i]
+            z[i] = last
+        return np.clip(means + p.sigma_kt * z, p.kt_min, p.kt_max)
 
     # -- hourly synthesis ------------------------------------------------------
 
@@ -177,10 +222,54 @@ class SyntheticWeather:
             doy = (start_day_of_year - 1 + i) % 365 + 1
             yield self.day_irradiance(doy, float(kts[i]))
 
+    def year_tensor(self, days: int = 365, start_day_of_year: int = 1) -> WeatherYear:
+        """Synthesize the whole year as one ``(days, 24)`` tensor.
+
+        Bit-identical to stacking :meth:`year`'s per-day outputs, but computed
+        in a single pass over the day axis: the solar-geometry broadcasts put
+        the day dimension on the rows and the 24 hour centers on the columns.
+        """
+        if not 1 <= start_day_of_year <= 365:
+            raise ConfigurationError(
+                f"start day-of-year must be 1..365, got {start_day_of_year}")
+        if days <= 0:
+            raise ConfigurationError(f"days must be positive, got {days}")
+        geo = self.geometry
+        kt = self.daily_clearness(days, start_day_of_year)
+        doys = (start_day_of_year - 1 + np.arange(days)) % 365 + 1
+        months = months_of_days(doys)
+
+        hours = np.arange(24) + 0.5  # hour centers, solar time
+        w = geo.hour_angles_rad(hours)
+        doy_col = doys[:, None]
+        cos_z = np.maximum(geo.cos_zenith(doy_col, w), 0.0)
+
+        i0 = SOLAR_CONSTANT_W_M2 * eccentricity_factor(doy_col) * cos_z
+        ghi = kt[:, None] * i0
+
+        fd = erbs_diffuse_fraction(kt)
+        diffuse = fd[:, None] * ghi
+        beam_h = ghi - diffuse
+
+        cos_i = geo.cos_incidence(doy_col, w)
+        rb = np.where(cos_z > 0.087, np.maximum(cos_i, 0.0) / np.maximum(cos_z, 0.087), 0.0)
+        beta = np.deg2rad(geo.tilt_deg)
+        sky_view = (1.0 + np.cos(beta)) / 2.0
+        ground_view = (1.0 - np.cos(beta)) / 2.0
+        poa = beam_h * rb + diffuse * sky_view + ghi * self.params.albedo * ground_view
+
+        winter = np.isin(months, WINTER_MONTHS)
+        poa[winter] = poa[winter] * (1.0 - self.location.winter_reliability_derate)
+
+        return WeatherYear(start_day_of_year=start_day_of_year,
+                           day_of_year=doys, month=months, kt=kt,
+                           ghi_w_m2=ghi, poa_w_m2=np.maximum(poa, 0.0))
+
     def monthly_poa_kwh_m2(self) -> np.ndarray:
-        """Monthly plane-of-array irradiation sums of the simulated year."""
-        sums = np.zeros(12)
-        for day in self.year():
-            month = self.location.month_of_day(day.day_of_year)
-            sums[month] += day.daily_poa_wh_m2 / 1000.0
-        return sums
+        """Monthly plane-of-array irradiation sums of the simulated year.
+
+        Reuses one :meth:`year_tensor` synthesis instead of re-yielding
+        per-day objects (this used to be a second full weather synthesis per
+        calibration pass).
+        """
+        return self.year_tensor().monthly_poa_kwh_m2()

@@ -23,7 +23,8 @@ from repro.solar.climates import Location
 from repro.solar.irradiance import SyntheticWeather, WeatherParams
 from repro.solar.pv import PvArray
 
-__all__ = ["LoadProfile", "repeater_load_profile", "OffGridSystem", "OffGridResult"]
+__all__ = ["LoadProfile", "repeater_load_profile", "annual_load_wh",
+           "OffGridSystem", "OffGridResult"]
 
 
 @dataclass(frozen=True)
@@ -61,6 +62,21 @@ def repeater_load_profile(params: EnergyParams | None = None,
     service_w = (daily_wh - night_wh) / (24 - n_night)
     hours = [params.lp_sleep_w] * n_night + [service_w] * (24 - n_night)
     return LoadProfile(hourly_w=tuple(hours))
+
+
+def annual_load_wh(load: LoadProfile, days: int = 365) -> float:
+    """Yearly load energy, accumulated hour by hour.
+
+    The fold order matches :meth:`OffGridSystem.simulate_year`'s running
+    ``annual_load_wh`` sum exactly, so callers that need the load total
+    without a simulation (e.g. the degradation fade precomputation) get the
+    bit-identical value.
+    """
+    total = 0.0
+    for _ in range(days):
+        for demanded in load.hourly_w:
+            total += demanded
+    return total
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,310 @@
+"""Tests for the batched off-grid engine and the weather-tensor cache.
+
+The central guarantee mirrors ``test_batch.py``: every result out of
+:func:`repro.solar.batch.simulate_systems` is bit-identical to the scalar
+:meth:`OffGridSystem.simulate_year` on the same system, the weather-year
+tensor is bit-identical to stacking the per-day synthesis, and weather is
+synthesized exactly once per key.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.solar.batch import (
+    WeatherCache,
+    WeatherKey,
+    candidate_grid,
+    simulate_candidates,
+    simulate_systems,
+    synthesize_weather_year,
+)
+from repro.solar.battery import Battery
+from repro.solar.climates import DOY_MONTH, LOCATIONS, months_of_days
+from repro.solar.degradation import project_lifetime
+from repro.solar.irradiance import SyntheticWeather
+from repro.solar.offgrid import (
+    LoadProfile,
+    OffGridResult,
+    OffGridSystem,
+    annual_load_wh,
+    repeater_load_profile,
+)
+from repro.solar.pv import PvArray
+from repro.solar.sizing import find_minimal_system
+
+RESULT_FIELDS = tuple(f.name for f in dataclasses.fields(OffGridResult))
+
+ALL_LOCATIONS = tuple(LOCATIONS)
+
+
+def assert_results_equal(batched, scalar):
+    for name in RESULT_FIELDS:
+        assert getattr(batched, name) == getattr(scalar, name), name
+
+
+class TestWeatherTensor:
+    @pytest.mark.parametrize("key", ALL_LOCATIONS)
+    def test_year_tensor_matches_day_iteration(self, key):
+        weather = SyntheticWeather(LOCATIONS[key], seed=11)
+        tensor = weather.year_tensor(days=365, start_day_of_year=274)
+        for i, day in enumerate(weather.year(365, 274)):
+            assert np.array_equal(tensor.ghi_w_m2[i], day.ghi_w_m2)
+            assert np.array_equal(tensor.poa_w_m2[i], day.poa_w_m2)
+            assert tensor.kt[i] == day.kt
+            assert int(tensor.day_of_year[i]) == day.day_of_year
+
+    def test_monthly_poa_matches_per_day_accumulation(self):
+        weather = SyntheticWeather(LOCATIONS["vienna"], seed=3)
+        sums = np.zeros(12)
+        for day in weather.year():
+            sums[weather.location.month_of_day(day.day_of_year)] += day.daily_poa_wh_m2 / 1000.0
+        assert np.array_equal(weather.monthly_poa_kwh_m2(), sums)
+
+    def test_month_lookup_matches_boundary_scan(self):
+        from repro.solar.climates import MONTH_DAYS, MONTH_FIRST_DOY
+        loc = LOCATIONS["madrid"]
+        for month, (first, length) in enumerate(zip(MONTH_FIRST_DOY, MONTH_DAYS)):
+            assert loc.month_of_day(first) == month
+            assert loc.month_of_day(first + length - 1) == month
+        assert DOY_MONTH.shape == (365,)
+        assert np.array_equal(months_of_days(np.arange(1, 366)),
+                              [loc.month_of_day(d) for d in range(1, 366)])
+
+    def test_months_of_days_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            months_of_days(np.array([0]))
+        with pytest.raises(ConfigurationError):
+            months_of_days(np.array([366]))
+
+    def test_tensor_rejects_bad_inputs(self):
+        weather = SyntheticWeather(LOCATIONS["madrid"])
+        with pytest.raises(ConfigurationError):
+            weather.year_tensor(days=0)
+        with pytest.raises(ConfigurationError):
+            weather.year_tensor(start_day_of_year=0)
+
+
+class TestBatchBitIdentity:
+    @pytest.mark.parametrize("key", ALL_LOCATIONS)
+    @pytest.mark.parametrize("seed,start", [(2022, 274), (7, 1), (13, 100)])
+    def test_every_field_matches_scalar(self, key, seed, start):
+        systems = [
+            OffGridSystem(LOCATIONS[key], pv=PvArray(peak_w=pv),
+                          battery=Battery(capacity_wh=wh), seed=seed)
+            for pv, wh in ((360.0, 720.0), (540.0, 720.0), (600.0, 1440.0))
+        ]
+        batched = simulate_systems(systems, start_day_of_year=start,
+                                   weather_cache=WeatherCache())
+        for system, result in zip(systems, batched):
+            assert_results_equal(result,
+                                 system.simulate_year(start_day_of_year=start))
+
+    def test_mixed_locations_seeds_and_loads_in_one_batch(self):
+        heavy = LoadProfile(hourly_w=(20.0,) * 24)
+        systems = [
+            OffGridSystem(LOCATIONS["madrid"], seed=1),
+            OffGridSystem(LOCATIONS["berlin"], pv=PvArray(peak_w=600.0),
+                          battery=Battery(capacity_wh=1440.0), seed=2),
+            OffGridSystem(LOCATIONS["lyon"], load=heavy, seed=1),
+            OffGridSystem(LOCATIONS["vienna"], seed=3,
+                          battery=Battery(capacity_wh=1440.0, charge_efficiency=0.9,
+                                          discharge_cutoff=0.3)),
+        ]
+        for system, result in zip(systems, simulate_systems(
+                systems, weather_cache=WeatherCache())):
+            assert_results_equal(result, system.simulate_year())
+
+    def test_partial_year_and_initial_soc(self):
+        system = OffGridSystem(LOCATIONS["berlin"], seed=5)
+        batched, = simulate_systems([system], days=45, initial_soc=0.6,
+                                    weather_cache=WeatherCache())
+        assert_results_equal(batched, system.simulate_year(days=45, initial_soc=0.6))
+
+    def test_empty_batch(self):
+        assert simulate_systems([]) == []
+
+    def test_rejects_bad_inputs(self):
+        system = OffGridSystem(LOCATIONS["madrid"])
+        with pytest.raises(ConfigurationError):
+            simulate_systems([system], days=0)
+        with pytest.raises(ConfigurationError):
+            simulate_systems([system], initial_soc=1.5)
+
+    def test_candidate_grid_expansion(self):
+        grid = candidate_grid((540.0, 600.0), (720.0, 1440.0))
+        assert grid == ((540.0, 720.0), (540.0, 1440.0),
+                        (600.0, 720.0), (600.0, 1440.0))
+        with pytest.raises(ConfigurationError):
+            candidate_grid((), (720.0,))
+
+
+class TestWeatherCache:
+    def test_weather_synthesized_once_per_key(self, monkeypatch):
+        calls = []
+        original = SyntheticWeather.year_tensor
+
+        def counting(self, *args, **kwargs):
+            calls.append(self.location.name)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(SyntheticWeather, "year_tensor", counting)
+        cache = WeatherCache(maxsize=8)
+        systems = [
+            OffGridSystem(LOCATIONS[key], pv=PvArray(peak_w=pv))
+            for key in ("madrid", "berlin") for pv in (360.0, 540.0, 720.0)
+        ]
+        simulate_systems(systems, weather_cache=cache)
+        # Six systems over two unique (location, params, seed) keys.
+        assert sorted(calls) == ["Berlin", "Madrid"]
+        assert cache.misses == 2
+        simulate_systems(systems, weather_cache=cache)
+        assert sorted(calls) == ["Berlin", "Madrid"]
+        assert cache.hits >= 2
+
+    def test_same_key_same_object(self):
+        cache = WeatherCache(maxsize=4)
+        loc = LOCATIONS["lyon"]
+        first = synthesize_weather_year(loc, seed=9, cache=cache)
+        second = synthesize_weather_year(loc, seed=9, cache=cache)
+        assert first is second
+
+    def test_distinct_keys_distinct_weather(self):
+        cache = WeatherCache(maxsize=8)
+        base = synthesize_weather_year(LOCATIONS["lyon"], seed=9, cache=cache)
+        for other in (synthesize_weather_year(LOCATIONS["lyon"], seed=10, cache=cache),
+                      synthesize_weather_year(LOCATIONS["vienna"], seed=9, cache=cache),
+                      synthesize_weather_year(LOCATIONS["lyon"], seed=9,
+                                              start_day_of_year=100, cache=cache)):
+            assert not np.array_equal(base.poa_w_m2, other.poa_w_m2)
+        assert cache.misses == 4
+
+    def test_disk_roundtrip_bit_identical(self, tmp_path):
+        warm = WeatherCache(maxsize=4, cache_dir=tmp_path)
+        fresh = synthesize_weather_year(LOCATIONS["berlin"], seed=4, cache=warm)
+        cold = WeatherCache(maxsize=4, cache_dir=tmp_path)
+        key = WeatherKey.for_weather(
+            SyntheticWeather(LOCATIONS["berlin"], seed=4), 365, 1)
+        reloaded = cold.get(key)
+        assert reloaded is not None
+        assert np.array_equal(reloaded.poa_w_m2, fresh.poa_w_m2)
+        assert np.array_equal(reloaded.ghi_w_m2, fresh.ghi_w_m2)
+        assert np.array_equal(reloaded.kt, fresh.kt)
+        assert np.array_equal(reloaded.day_of_year, fresh.day_of_year)
+        assert np.array_equal(reloaded.month, fresh.month)
+        assert reloaded.start_day_of_year == fresh.start_day_of_year
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        cache = WeatherCache(maxsize=4, cache_dir=tmp_path)
+        synthesize_weather_year(LOCATIONS["madrid"], seed=4, cache=cache)
+        for path in tmp_path.glob("*.npz"):
+            path.write_bytes(b"not an npz")
+        cold = WeatherCache(maxsize=4, cache_dir=tmp_path)
+        key = WeatherKey.for_weather(
+            SyntheticWeather(LOCATIONS["madrid"], seed=4), 365, 1)
+        assert cold.get(key) is None
+
+    def test_key_hash_stable_and_content_sensitive(self):
+        weather = SyntheticWeather(LOCATIONS["madrid"], seed=4)
+        a = WeatherKey.for_weather(weather, 365, 274)
+        b = WeatherKey.for_weather(SyntheticWeather(LOCATIONS["madrid"], seed=4),
+                                   365, 274)
+        assert a.content_hash == b.content_hash
+        c = WeatherKey.for_weather(SyntheticWeather(LOCATIONS["madrid"], seed=5),
+                                   365, 274)
+        assert a.content_hash != c.content_hash
+
+    def test_key_covers_geometry_override(self):
+        from repro.solar.geometry import SolarGeometry
+        default = WeatherKey.for_weather(
+            SyntheticWeather(LOCATIONS["madrid"], seed=4), 365, 1)
+        overridden = WeatherKey.for_weather(
+            SyntheticWeather(LOCATIONS["madrid"], seed=4,
+                             geometry=SolarGeometry(52.5)), 365, 1)
+        assert default.content_hash != overridden.content_hash
+
+
+class TestRoutedConsumers:
+    @pytest.mark.parametrize("key", ALL_LOCATIONS)
+    def test_sizing_engines_agree(self, key):
+        batch = find_minimal_system(LOCATIONS[key], weather_cache=WeatherCache())
+        scalar = find_minimal_system(LOCATIONS[key], engine="scalar")
+        assert (batch.pv_peak_w, batch.battery_capacity_wh) == \
+            (scalar.pv_peak_w, scalar.battery_capacity_wh)
+        assert batch.rejected == scalar.rejected
+        assert_results_equal(batch.result, scalar.result)
+
+    def test_sizing_rejects_unknown_engine(self):
+        with pytest.raises(ConfigurationError):
+            find_minimal_system(LOCATIONS["madrid"], engine="magic")
+
+    def test_lifetime_engines_agree(self):
+        batch = project_lifetime(LOCATIONS["vienna"], 540.0, 1440.0,
+                                 service_years=4, weather_cache=WeatherCache())
+        scalar = project_lifetime(LOCATIONS["vienna"], 540.0, 1440.0,
+                                  service_years=4, engine="scalar")
+        assert len(batch.years) == len(scalar.years)
+        for b, s in zip(batch.years, scalar.years):
+            assert b.year == s.year
+            assert b.battery_capacity_wh == s.battery_capacity_wh
+            assert b.pv_peak_w == s.pv_peak_w
+            assert b.equivalent_full_cycles == s.equivalent_full_cycles
+            assert_results_equal(b.result, s.result)
+
+    def test_lifetime_rejects_unknown_engine(self):
+        with pytest.raises(ConfigurationError):
+            project_lifetime(LOCATIONS["vienna"], 540.0, 1440.0, engine="magic")
+
+    def test_annual_load_fold_matches_simulation(self):
+        load = repeater_load_profile()
+        result = OffGridSystem(LOCATIONS["madrid"], load=load).simulate_year()
+        assert annual_load_wh(load) / 1000.0 == result.annual_load_kwh
+
+    def test_simulate_candidates_order_and_identity(self):
+        candidates = ((360.0, 720.0), (540.0, 1440.0))
+        results = simulate_candidates(LOCATIONS["vienna"], candidates,
+                                      weather_cache=WeatherCache())
+        assert [(r.pv_peak_w, r.battery_capacity_wh) for r in results] == \
+            list(candidates)
+        for (pv, wh), result in zip(candidates, results):
+            system = OffGridSystem(LOCATIONS["vienna"], pv=PvArray(peak_w=pv),
+                                   battery=Battery(capacity_wh=wh))
+            assert_results_equal(result, system.simulate_year())
+
+
+class TestTable4Grid:
+    def test_grid_experiment_matches_scalar(self):
+        from repro.experiments.table4 import run_table4_grid
+        grid = run_table4_grid(pv_peaks=(540.0, 600.0),
+                               battery_whs=(720.0, 1440.0),
+                               weather_cache=WeatherCache())
+        assert set(grid.results) == {"madrid", "lyon", "vienna", "berlin"}
+        result = grid.results["berlin"][(600.0, 1440.0)]
+        system = OffGridSystem(LOCATIONS["berlin"], pv=PvArray(peak_w=600.0),
+                               battery=Battery(capacity_wh=1440.0))
+        assert_results_equal(result, system.simulate_year())
+        # The paper's outcomes are a cross-section of the grid.
+        assert grid.minimal_battery_wh("madrid", 540.0) == 720.0
+        assert grid.minimal_battery_wh("vienna", 540.0) == 1440.0
+        assert grid.minimal_battery_wh("berlin", 540.0) is None
+        assert grid.minimal_battery_wh("berlin", 600.0) == 1440.0
+
+    def test_grid_series_shape(self):
+        from repro.experiments.table4 import run_table4_grid
+        grid = run_table4_grid(pv_peaks=(540.0,), battery_whs=(720.0, 1440.0),
+                               weather_cache=WeatherCache())
+        series = grid.series()
+        assert len(series["location"]) == 4 * 1 * 2
+        assert set(series) >= {"location", "pv_peak_w", "battery_wh",
+                               "zero_downtime", "unmet_hours"}
+        assert grid.table().startswith("Table IV grid")
+
+    def test_grid_registered_in_runner(self):
+        from repro.experiments.runner import ALL_EXPERIMENTS, run_experiment
+        assert "table4-grid" in ALL_EXPERIMENTS
+        result = run_experiment("table4-grid", pv_peaks=(540.0,),
+                                battery_whs=(720.0,),
+                                weather_cache=WeatherCache())
+        assert set(result.results) == {"madrid", "lyon", "vienna", "berlin"}
