@@ -34,7 +34,14 @@ from repro.energy import (
     fig4_rows,
     segment_energy,
 )
-from repro.optimize import max_isd_for_n, optimize_placement, sweep_max_isd
+from repro.optimize import (
+    max_isd_for_n,
+    optimize_placement,
+    outage_matrix,
+    outage_probability,
+    robust_max_isd,
+    sweep_max_isd,
+)
 from repro.power import (
     EarthPowerModel,
     HP_RRH_PROFILE,
@@ -97,6 +104,9 @@ __all__ = [
     "max_isd_for_n",
     "sweep_max_isd",
     "optimize_placement",
+    "outage_matrix",
+    "outage_probability",
+    "robust_max_isd",
     "UplinkParams",
     "compute_uplink_profile",
     "simulate_traversal",

@@ -72,16 +72,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="battery-capacity axis [Wh] of the table4-grid candidate sweep, "
              "comma separated (e.g. 720,1440,2160)",
     )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        metavar="T",
+        default=None,
+        help="Monte-Carlo trial count of the shadowing studies "
+             "(robustness-grid, ext-robust, abl-noise)",
+    )
+    parser.add_argument(
+        "--sigmas",
+        metavar="DB[,DB...]",
+        default=None,
+        help="shadowing sigma axis [dB] of robustness-grid, comma separated "
+             "(e.g. 2,4,6); also enables the robust max-ISD overlay of "
+             "abl-noise",
+    )
     return parser
 
 
-def _parse_axis(text: str, flag: str) -> tuple[float, ...]:
+def _parse_axis(text: str, flag: str, allow_zero: bool = False) -> tuple[float, ...]:
     try:
         values = tuple(float(v) for v in text.split(",") if v.strip())
     except ValueError:
         raise SystemExit(f"{flag} expects comma-separated numbers, got {text!r}")
-    if not values or any(v <= 0 for v in values):
-        raise SystemExit(f"{flag} expects positive values, got {text!r}")
+    if not values or any(v < 0 if allow_zero else v <= 0 for v in values):
+        kind = "non-negative" if allow_zero else "positive"
+        raise SystemExit(f"{flag} expects {kind} values, got {text!r}")
     return values
 
 
@@ -110,6 +127,13 @@ def _engine_kwargs(args: argparse.Namespace) -> dict:
         kwargs["pv_peaks"] = _parse_axis(args.pv_peaks, "--pv-peaks")
     if args.battery_whs is not None:
         kwargs["battery_whs"] = _parse_axis(args.battery_whs, "--battery-whs")
+    if args.trials is not None:
+        if args.trials < 1:
+            raise SystemExit("--trials must be >= 1")
+        kwargs["trials"] = args.trials
+    if args.sigmas is not None:
+        # sigma 0 is the valid no-shadowing anchor of a grid study.
+        kwargs["sigmas"] = _parse_axis(args.sigmas, "--sigmas", allow_zero=True)
     return kwargs
 
 

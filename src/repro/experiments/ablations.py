@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro import constants
 from repro.corridor.layout import CorridorLayout
 from repro.energy.scenario import OperatingMode
+from repro.errors import ConfigurationError, InfeasibleError
 from repro.optimize.placement import optimize_placement
 from repro.radio.batch import evaluate_scenarios
 from repro.radio.link import LinkParams
@@ -40,29 +41,87 @@ __all__ = [
 @dataclass(frozen=True)
 class NoiseAblationResult:
     lists: dict[str, list[float]]
+    #: Optional robustness overlay: model -> {sigma_db -> robust max ISD at
+    #: n_max}, computed through the Monte-Carlo engine when ``sigmas`` is
+    #: passed to :func:`run_noise_ablation`.
+    robust: dict[str, dict[float, float]] | None = None
+
+    def _n_count(self) -> int:
+        return min(len(values) for values in self.lists.values())
+
+    @staticmethod
+    def _registered(index: int) -> float:
+        """Registered paper maximum for row ``index``; NaN past the list."""
+        if index < len(constants.PAPER_MAX_ISD_M):
+            return float(constants.PAPER_MAX_ISD_M[index])
+        return float("nan")
 
     def series(self) -> dict[str, list]:
-        out: dict[str, list] = {"n_repeaters": list(range(1, 11))}
-        out.update({name: values for name, values in self.lists.items()})
-        out["paper"] = list(constants.PAPER_MAX_ISD_M)
+        n_count = self._n_count()
+        out: dict[str, list] = {"n_repeaters": list(range(1, n_count + 1))}
+        out.update({name: values[:n_count] for name, values in self.lists.items()})
+        # "paper" is already taken by the literal Eq. (2) noise model
+        # (RepeaterNoiseModel.PAPER.value); name the registered list apart so
+        # it doesn't overwrite that column in the CSV export.
+        out["paper_registered"] = [self._registered(i) for i in range(n_count)]
+        if self.robust:
+            # Flatten the (model x sigma) robust overlay into constant
+            # columns so the CSV export carries it too.
+            for name, per_model in self.robust.items():
+                for sigma, isd in per_model.items():
+                    out[f"robust_{name}_sigma_{sigma:g}db"] = [isd] * n_count
         return out
 
     def table(self) -> str:
-        headers = ["N"] + list(self.lists) + ["paper"]
+        headers = ["N"] + list(self.lists) + ["paper_registered"]
         rows = []
-        for i in range(10):
+        for i in range(self._n_count()):
             row = [i + 1] + [self.lists[k][i] for k in self.lists]
-            row.append(constants.PAPER_MAX_ISD_M[i])
+            row.append(self._registered(i))
             rows.append(row)
-        return format_table(headers, rows, title="Ablation: repeater-noise models")
+        out = format_table(headers, rows, title="Ablation: repeater-noise models")
+        if self.robust:
+            sigmas = sorted({s for per_model in self.robust.values()
+                             for s in per_model})
+            robust_rows = [[name] + [per_model[s] for s in sigmas]
+                           for name, per_model in self.robust.items()]
+            out += "\n" + format_table(
+                ["model"] + [f"sigma {s:g} dB" for s in sigmas], robust_rows,
+                title="Robust max ISD under shadowing (Monte-Carlo engine)")
+        return out
 
 
 def run_noise_ablation(n_max: int = 10, resolution_m: float = 2.0,
                        isd_step_m: float = 50.0,
                        cache: ProfileCache | None = None,
-                       jobs: int | None = None) -> NoiseAblationResult:
-    """Max-ISD list under each repeater-noise model."""
+                       jobs: int | None = None,
+                       sigmas=None, trials: int = 60,
+                       robust_target_outage: float = 0.05) -> NoiseAblationResult:
+    """Max-ISD list under each repeater-noise model.
+
+    When ``sigmas`` is given (e.g. via the CLI's ``--sigmas``), the study also
+    reports the *robust* maximum ISD of each noise model at ``n_max`` for each
+    shadowing sigma — :func:`repro.optimize.robustness.robust_max_isd` through
+    the vectorized Monte-Carlo engine with common random numbers, so the
+    robust ISDs are comparable across noise models.
+    """
+    from repro.optimize.robustness import robust_max_isd
+    from repro.propagation.fading import LogNormalShadowing
+
+    if sigmas:
+        # Validate the Monte-Carlo inputs eagerly so bad parameters fail
+        # here, before the deterministic sweeps run, rather than masquerade
+        # as infeasible cells in the search loop.
+        if trials <= 0:
+            raise ConfigurationError(f"trials must be positive, got {trials}")
+        if not 0.0 < robust_target_outage < 1.0:
+            raise ConfigurationError(
+                f"target outage must be in (0,1), got {robust_target_outage}")
+        shadowings = {float(sigma): LogNormalShadowing(sigma_db=float(sigma))
+                      for sigma in sigmas}
+
     lists = {}
+    robust: dict[str, dict[float, float]] = {}
     for model in (RepeaterNoiseModel.PAPER, RepeaterNoiseModel.FRONTHAUL_STAR,
                   RepeaterNoiseModel.FRONTHAUL_CHAIN):
         link = LinkParams(repeater_noise_model=model)
@@ -70,7 +129,26 @@ def run_noise_ablation(n_max: int = 10, resolution_m: float = 2.0,
                               resolution_m=resolution_m, isd_step_m=isd_step_m,
                               cache=cache, jobs=jobs)
         lists[model.value] = sweep.as_list()
-    return NoiseAblationResult(lists=lists)
+        if sigmas:
+            # The deterministic ladder is identical across sigmas; a local
+            # profile cache keeps it to one evaluation per noise model.
+            robust_cache = cache if cache is not None else ProfileCache(maxsize=256)
+            robust[model.value] = {}
+            for sigma, shadowing in shadowings.items():
+                try:
+                    isd, _ = robust_max_isd(
+                        n_max, target_outage=robust_target_outage,
+                        shadowing=shadowing,
+                        link=link, isd_step_m=isd_step_m, trials=trials,
+                        resolution_m=resolution_m, cache=robust_cache,
+                        jobs=jobs)
+                except InfeasibleError:
+                    # No candidate meets the outage target under this sigma —
+                    # that infeasibility is itself the study's finding.
+                    # Parameter errors (ConfigurationError) propagate.
+                    isd = float("nan")
+                robust[model.value][sigma] = isd
+    return NoiseAblationResult(lists=lists, robust=robust or None)
 
 
 # --- placement ablation ----------------------------------------------------------

@@ -15,8 +15,8 @@ from repro.corridor.layout import CorridorLayout
 from repro.economics.costmodel import CostAssumptions, corridor_cost
 from repro.emf.compliance import node_compliance
 from repro.energy.scenario import OperatingMode
+from repro.errors import ConfigurationError
 from repro.mobility.traversal import simulate_traversal
-from repro.optimize.robustness import outage_probability
 from repro.propagation.fading import LogNormalShadowing
 from repro.radio.uplink import UplinkParams, compute_uplink_profile
 from repro.reporting.tables import format_table
@@ -29,6 +29,7 @@ __all__ = [
     "run_traversal", "TraversalExperiment",
     "run_economics", "EconomicsResult",
     "run_robustness", "RobustnessResult",
+    "run_robustness_grid", "RobustnessGridResult",
     "run_lifetime", "LifetimeExperiment",
     "run_demand", "DemandExperiment",
     "run_cell_border", "CellBorderExperiment",
@@ -172,28 +173,34 @@ def run_economics(corridor_km: float = 100.0,
 
 @dataclass(frozen=True)
 class RobustnessResult:
-    rows: list[tuple[int, float, float]]
+    rows: list[tuple[int, float, float, float, float]]
     sigma_db: float
 
     def table(self) -> str:
         return format_table(
-            ["N", "registered ISD [m]", "outage probability"],
+            ["N", "registered ISD [m]", "outage probability", "95% CI low", "95% CI high"],
             [list(r) for r in self.rows],
             title=f"Shadowing outage at the registered ISDs (sigma {self.sigma_db} dB)")
 
     def series(self) -> dict[str, list]:
         return {"n_repeaters": [r[0] for r in self.rows],
                 "isd_m": [r[1] for r in self.rows],
-                "outage_probability": [r[2] for r in self.rows]}
+                "outage_probability": [r[2] for r in self.rows],
+                "outage_ci95_low": [r[3] for r in self.rows],
+                "outage_ci95_high": [r[4] for r in self.rows]}
 
 
 def run_robustness(sigma_db: float = 4.0, trials: int = 60,
-                   counts=(1, 4, 8, 10), jobs: int | None = None) -> RobustnessResult:
+                   counts=(1, 4, 8, 10), jobs: int | None = None,
+                   engine: str = "batched") -> RobustnessResult:
     """Outage probability of the paper's operating points under shadowing.
 
     The deterministic profiles of all operating points come from one
-    batched-engine call; only the Monte-Carlo trials run per point.
+    batched-engine call and the Monte-Carlo trials of *all* points run as one
+    stacked :func:`repro.optimize.mc.outage_matrix` evaluation under common
+    random numbers, with a Wilson 95% interval per point.
     """
+    from repro.optimize.mc import outage_matrix
     from repro.radio.batch import evaluate_scenarios
     from repro.scenario.spec import Scenario
 
@@ -204,12 +211,97 @@ def run_robustness(sigma_db: float = 4.0, trials: int = 60,
     ]
     profiles = evaluate_scenarios(
         [Scenario(layout=lo, resolution_m=10.0) for lo in layouts], jobs=jobs)
-    rows = []
-    for n, layout, profile in zip(counts, layouts, profiles):
-        result = outage_probability(layout, shadowing, trials=trials,
-                                    resolution_m=10.0, profile=profile)
-        rows.append((n, layout.isd_m, result.outage_probability))
+    matrix = outage_matrix(profiles, shadowing, trials=trials, engine=engine)
+    ci_low, ci_high = matrix.ci95()
+    rows = [
+        (n, layout.isd_m, float(outage), float(low), float(high))
+        for n, layout, outage, low, high in zip(
+            counts, layouts, matrix.outage_probability, ci_low, ci_high)
+    ]
     return RobustnessResult(rows=rows, sigma_db=sigma_db)
+
+
+# --- robustness grid (ISD x sigma x decorrelation) -----------------------------------
+
+@dataclass(frozen=True)
+class RobustnessGridResult:
+    """Outage across an (ISD x sigma x decorrelation) grid, fixed trial streams."""
+
+    rows: list[tuple[float, float, float, float, float, float, float]]
+    n_repeaters: int
+    trials: int
+
+    def table(self) -> str:
+        return format_table(
+            ["sigma [dB]", "decorrelation [m]", "ISD [m]", "outage",
+             "95% CI low", "95% CI high", "median min SNR [dB]"],
+            [list(r) for r in self.rows],
+            title=(f"Shadowing robustness grid, N={self.n_repeaters}, "
+                   f"{self.trials} trials per cell"))
+
+    def series(self) -> dict[str, list]:
+        return {"sigma_db": [r[0] for r in self.rows],
+                "decorrelation_m": [r[1] for r in self.rows],
+                "isd_m": [r[2] for r in self.rows],
+                "outage_probability": [r[3] for r in self.rows],
+                "outage_ci95_low": [r[4] for r in self.rows],
+                "outage_ci95_high": [r[5] for r in self.rows],
+                "median_min_snr_db": [r[6] for r in self.rows]}
+
+
+def run_robustness_grid(n_repeaters: int = 8,
+                        isds_m=None,
+                        sigmas=(2.0, 4.0, 6.0),
+                        decorrelations_m=(25.0, 50.0, 100.0),
+                        trials: int = 100,
+                        resolution_m: float = 10.0,
+                        seed: int = 2022,
+                        jobs: int | None = None,
+                        cache=None,
+                        engine: str = "batched") -> RobustnessGridResult:
+    """Sweep outage over (ISD x sigma_db x decorrelation_m x trials).
+
+    Every grid cell runs one stacked Monte-Carlo evaluation over all ISD
+    candidates through :func:`repro.optimize.mc.outage_matrix`; the per-trial
+    seeding (common random numbers) makes every cell comparable — along the
+    ISD axis *and* across shadowing parameters.  ``isds_m`` defaults to the
+    registered maximum for ``n_repeaters`` and two 200 m back-offs, i.e. the
+    margin question an operator actually asks.
+    """
+    from repro.optimize.mc import outage_matrix
+    from repro.radio.batch import evaluate_scenarios
+    from repro.scenario.spec import Scenario
+
+    if isds_m is None:
+        if not 1 <= n_repeaters <= len(constants.PAPER_MAX_ISD_M):
+            raise ConfigurationError(
+                f"default ISD anchor needs 1 <= n_repeaters <= "
+                f"{len(constants.PAPER_MAX_ISD_M)}, got {n_repeaters}; "
+                f"pass isds_m explicitly for other repeater counts")
+        registered = constants.PAPER_MAX_ISD_M[n_repeaters - 1]
+        isds_m = tuple(registered - backoff for backoff in (400.0, 200.0, 0.0))
+    isds_m = tuple(float(isd) for isd in isds_m)
+    layouts = [CorridorLayout.with_uniform_repeaters(isd, n_repeaters)
+               for isd in isds_m]
+    profiles = evaluate_scenarios(
+        [Scenario(layout=lo, resolution_m=resolution_m) for lo in layouts],
+        cache=cache, jobs=jobs)
+    rows = []
+    for sigma in sigmas:
+        for decorrelation in decorrelations_m:
+            shadowing = LogNormalShadowing(sigma_db=float(sigma),
+                                           decorrelation_m=float(decorrelation))
+            matrix = outage_matrix(profiles, shadowing, trials=trials,
+                                   seed=seed, engine=engine)
+            outages = matrix.outage_probability
+            ci_low, ci_high = matrix.ci95()
+            median = matrix.quantile(0.5)
+            for c, isd in enumerate(isds_m):
+                rows.append((float(sigma), float(decorrelation), isd,
+                             float(outages[c]),
+                             float(ci_low[c]), float(ci_high[c]),
+                             float(median[c])))
+    return RobustnessGridResult(rows=rows, n_repeaters=n_repeaters, trials=trials)
 
 
 # --- battery lifetime --------------------------------------------------------------------

@@ -24,6 +24,7 @@ from repro.experiments.extensions import (
     run_emf,
     run_lifetime,
     run_robustness,
+    run_robustness_grid,
     run_traversal,
     run_uplink,
 )
@@ -40,9 +41,12 @@ __all__ = ["ALL_EXPERIMENTS", "ENGINE_KWARGS", "run_experiment", "run_all"]
 
 #: Shared engine options every experiment may receive (and may ignore).
 #: ``weather_cache`` memoizes off-grid weather-year tensors; ``pv_peaks`` /
-#: ``battery_whs`` set the candidate axes of the ``table4-grid`` sweep.
+#: ``battery_whs`` set the candidate axes of the ``table4-grid`` sweep;
+#: ``trials`` (``robustness-grid``, ``ext-robust``, ``abl-noise``) and
+#: ``sigmas`` (``robustness-grid``, ``abl-noise``) parameterize the
+#: Monte-Carlo shadowing studies.
 ENGINE_KWARGS = frozenset({"jobs", "cache", "exhaustive", "weather_cache",
-                           "pv_peaks", "battery_whs"})
+                           "pv_peaks", "battery_whs", "trials", "sigmas"})
 
 
 @dataclass(frozen=True)
@@ -91,6 +95,9 @@ ALL_EXPERIMENTS: dict[str, ExperimentSpec] = {
         ExperimentSpec("ext-traversal", "Extension: per-traversal data volume", run_traversal),
         ExperimentSpec("ext-econ", "Extension: 10-year cost comparison", run_economics),
         ExperimentSpec("ext-robust", "Extension: shadowing outage", run_robustness),
+        ExperimentSpec("robustness-grid",
+                       "Extension: outage over (ISD x sigma x decorrelation) grid",
+                       run_robustness_grid),
         ExperimentSpec("ext-lifetime", "Extension: PV system aging", run_lifetime),
         ExperimentSpec("ext-demand", "Extension: demand-driven load", run_demand),
         ExperimentSpec("ext-border", "Extension: BBU cell-border SINR", run_cell_border),

@@ -2,19 +2,37 @@
 
 * :mod:`repro.optimize.isd` — for each repeater count, the maximum inter-site
   distance that still sustains peak 5G NR throughput everywhere (Section V).
+* :mod:`repro.optimize.mc` — vectorized Monte-Carlo shadowing engine
+  (common-random-number trials batched over candidates and positions).
+* :mod:`repro.optimize.robustness` — outage probability and the robust
+  max-ISD boundary under shadowing (extension).
 * :mod:`repro.optimize.placement` — repeater placement refinement (extension).
 * :mod:`repro.optimize.pareto` — energy-vs-capacity trade-off curves
   (extension).
 """
 
 from repro.optimize.isd import IsdSweepResult, max_isd_for_n, sweep_max_isd
+from repro.optimize.mc import (
+    OutageMatrix,
+    outage_matrix,
+    trial_generators,
+    wilson_interval,
+)
 from repro.optimize.placement import PlacementResult, optimize_placement
 from repro.optimize.pareto import ParetoPoint, energy_capacity_frontier
+from repro.optimize.robustness import OutageResult, outage_probability, robust_max_isd
 
 __all__ = [
     "max_isd_for_n",
     "sweep_max_isd",
     "IsdSweepResult",
+    "OutageMatrix",
+    "outage_matrix",
+    "trial_generators",
+    "wilson_interval",
+    "OutageResult",
+    "outage_probability",
+    "robust_max_isd",
     "optimize_placement",
     "PlacementResult",
     "energy_capacity_frontier",

@@ -1,0 +1,284 @@
+"""Vectorized Monte-Carlo shadowing engine.
+
+The scalar robustness path (:mod:`repro.optimize.robustness`) asks, one trial
+at a time, whether a shadowing trace pushes some track position of a profile
+below the SNR threshold.  This module batches that question across **every
+(candidate, trial, position)** at once:
+
+* per-trial generators are seeded as ``default_rng([seed, t])`` — the
+  *common-random-number* (CRN) contract: trial ``t``'s standard-normal stream
+  depends only on ``(seed, t)``, never on the candidate, so every candidate
+  consumes a prefix of the same trial streams and Monte-Carlo noise cancels
+  out of cross-candidate comparisons (the empirical outage-vs-ISD curve
+  tracks the monotone deterministic profiles, which makes bisection over its
+  feasibility boundary sound — see
+  :func:`repro.optimize.robustness.robust_max_isd`, pinned equal to the
+  exhaustive scan across seed sweeps in the tests);
+* one standard-normal matrix ``[trial, position]`` is drawn per evaluation
+  and shared by all candidates;
+* the Gudmundson AR(1) recurrence advances a ``[candidate, trial]`` shadow
+  state with position as the only sequential loop, using the per-step
+  ``rho``/``innovation`` vectors precomputed (and memoized) by
+  :meth:`repro.propagation.fading.LogNormalShadowing.coefficients`;
+* ragged per-candidate position grids are handled by padding: deterministic
+  SNR is padded with ``+inf`` (never the minimum) and the AR(1) coefficients
+  with zeros, so no validity mask is needed in the reduction.
+
+``engine="scalar"`` replays the same trials through
+:meth:`LogNormalShadowing.sample` one (candidate, trial) at a time and is
+trial-for-trial bit-identical to the batched kernel (same generator seeding,
+same draw order, elementwise-identical arithmetic) — asserted in
+``tests/test_mc_engine.py`` and gated at >= 10x speedup in
+``benchmarks/bench_mc_shadowing.py``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import constants
+from repro.errors import ConfigurationError
+from repro.propagation.fading import LogNormalShadowing
+
+__all__ = ["OutageMatrix", "outage_matrix", "readonly_array",
+           "trial_generators", "wilson_interval"]
+
+
+def readonly_array(values) -> np.ndarray:
+    """Float ndarray snapshot, frozen against writes.
+
+    Copies when the input is a writeable array so a caller-owned buffer is
+    never mutated; already-frozen arrays pass through without a copy.  Shared
+    by the result dataclasses that hold ndarray fields (:class:`OutageMatrix`,
+    :class:`repro.optimize.robustness.OutageResult`).
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.flags.writeable:
+        arr = arr.copy()
+        arr.flags.writeable = False
+    return arr
+
+
+def trial_generators(seed: int, trials: int) -> list[np.random.Generator]:
+    """Independent per-trial generators — the common-random-number contract.
+
+    Trial ``t``'s stream is a pure function of ``(seed, t)``; candidates and
+    repeated calls all see the same streams.
+    """
+    return [np.random.default_rng([seed, t]) for t in range(trials)]
+
+
+def wilson_interval(successes, trials: int, z: float = 1.959963984540054):
+    """Wilson score interval for a binomial proportion (default 95%).
+
+    Vectorizes over ``successes``; returns ``(low, high)``.  Unlike the
+    normal-approximation interval it stays inside [0, 1] and behaves at
+    0 or ``trials`` successes, which outage counts routinely hit.
+    """
+    if trials <= 0:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    successes = np.asarray(successes, dtype=float)
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p + z * z / (2.0 * trials)) / denom
+    half = (z / denom) * np.sqrt(p * (1.0 - p) / trials
+                                 + z * z / (4.0 * trials * trials))
+    # The point estimate lies inside the interval and the bounds inside
+    # [0, 1] by construction; enforce both against floating-point rounding
+    # at the p = 0 / p = 1 boundaries.
+    return (np.clip(np.minimum(center - half, p), 0.0, 1.0),
+            np.clip(np.maximum(center + half, p), 0.0, 1.0))
+
+
+@dataclass(frozen=True, eq=False)
+class OutageMatrix:
+    """Stacked Monte-Carlo outcome: one row per candidate, one column per trial.
+
+    ``min_snr_db[c, t]`` is the worst shadowed SNR along candidate ``c``'s
+    track in trial ``t``; everything else derives from it.  The matrix is
+    stored read-only; equality and hashing are defined explicitly (the
+    generated ones choke on ndarray fields).
+    """
+
+    min_snr_db: np.ndarray
+    threshold_db: float
+    seed: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "min_snr_db", readonly_array(self.min_snr_db))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, OutageMatrix):
+            return NotImplemented
+        return (self.threshold_db == other.threshold_db
+                and self.seed == other.seed
+                and np.array_equal(self.min_snr_db, other.min_snr_db))
+
+    def __hash__(self) -> int:
+        return hash((self.threshold_db, self.seed, self.min_snr_db.shape))
+
+    @property
+    def trials(self) -> int:
+        return self.min_snr_db.shape[1]
+
+    @property
+    def outage_counts(self) -> np.ndarray:
+        """Trials below the threshold, per candidate."""
+        return np.count_nonzero(self.min_snr_db < self.threshold_db, axis=1)
+
+    @property
+    def outage_probability(self) -> np.ndarray:
+        return self.outage_counts / self.trials
+
+    def ci95(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-candidate Wilson 95% interval on the outage probability."""
+        return wilson_interval(self.outage_counts, self.trials)
+
+    def quantile(self, q) -> np.ndarray:
+        """Per-candidate quantile(s) of the min-SNR samples."""
+        return np.quantile(self.min_snr_db, q, axis=1)
+
+
+#: Standard-normal matrix memo keyed by (seed, trials).  Each entry holds the
+#: longest matrix drawn so far for that key; shorter position counts are
+#: served as prefix views (bit-identical — trial t's row IS the prefix of
+#: ``default_rng([seed, t])``'s stream).  Grid studies re-evaluate the same
+#: (seed, trials) across many shadowing parameters; this avoids redrawing
+#: identical normals per cell.  Matrices above the byte cap are returned
+#: without being stored, so huge trial counts never pin gigabytes in module
+#: state.
+_Z_CACHE: OrderedDict[tuple, np.ndarray] = OrderedDict()
+_Z_CACHE_MAX = 4
+_Z_CACHE_MAX_BYTES = 64 * 1024 * 1024
+
+
+def _standard_normal_matrix(seed: int, trials: int, p_max: int) -> np.ndarray:
+    """Read-only ``[trials, p_max]`` matrix of per-trial standard normals."""
+    key = (seed, trials)
+    hit = _Z_CACHE.get(key)
+    if hit is None or hit.shape[1] < p_max:
+        z = np.empty((trials, p_max))
+        for t, rng in enumerate(trial_generators(seed, trials)):
+            z[t] = rng.standard_normal(p_max)
+        z.flags.writeable = False
+        if z.nbytes <= _Z_CACHE_MAX_BYTES:
+            _Z_CACHE[key] = z
+            _Z_CACHE.move_to_end(key)  # replacing a key keeps its old slot
+            if len(_Z_CACHE) > _Z_CACHE_MAX:
+                _Z_CACHE.popitem(last=False)
+        return z
+    _Z_CACHE.move_to_end(key)
+    return hit[:, :p_max]
+
+
+def _outage_matrix_scalar(profiles, shadowing: LogNormalShadowing,
+                          trials: int, seed: int) -> np.ndarray:
+    """Reference path: one :meth:`sample` walk per (candidate, trial)."""
+    mins = np.empty((len(profiles), trials))
+    for c, profile in enumerate(profiles):
+        for t, rng in enumerate(trial_generators(seed, trials)):
+            trace = shadowing.sample(profile.positions_m, rng)
+            mins[c, t] = np.min(profile.snr_db + trace)
+    mins.flags.writeable = False
+    return mins
+
+
+def _outage_matrix_batched(profiles, shadowing: LogNormalShadowing,
+                           trials: int, seed: int) -> np.ndarray:
+    """Batched kernel: AR(1) over a [candidate, trial] state, running min.
+
+    The recurrence mirrors :meth:`LogNormalShadowing.sample_batch` but cannot
+    delegate to it: folding the candidate axis into the state (with padding)
+    and reducing to a running minimum is what keeps one sequential loop for
+    the whole batch and avoids materializing [candidate, trial, position].
+    Both implementations are pinned bit-identical to the scalar ``sample``
+    walk in ``tests/test_mc_engine.py``, so they cannot silently diverge.
+    """
+    positions = [np.asarray(p.positions_m, dtype=float) for p in profiles]
+    sizes = [pos.size for pos in positions]
+    n_cand, p_max = len(profiles), max(sizes)
+
+    # Deterministic SNR padded with +inf: padded positions never win the min,
+    # so the ragged grids need no validity mask.
+    snr = np.full((n_cand, p_max), np.inf)
+    for c, profile in enumerate(profiles):
+        snr[c, :sizes[c]] = profile.snr_db
+
+    # Per-candidate AR(1) coefficients, zero-padded: past a candidate's grid
+    # end the shadow state collapses to 0 and the (inf) SNR keeps it inert.
+    rho = np.zeros((n_cand, max(p_max - 1, 1)))
+    innovation = np.zeros_like(rho)
+    for c, pos in enumerate(positions):
+        if pos.size > 1:
+            r, inn = shadowing.coefficients(pos)
+            rho[c, :pos.size - 1] = r
+            innovation[c, :pos.size - 1] = inn
+
+    sigma = shadowing.sigma_db
+    if sigma == 0.0:
+        # No shadowing: every trial reduces to the deterministic minimum
+        # (bit-identical to the scalar path, which adds an all-zeros trace).
+        det = np.array([np.min(profile.snr_db) for profile in profiles])
+        mins = np.broadcast_to(det[:, None], (n_cand, trials)).copy()
+        mins.flags.writeable = False
+        return mins
+
+    # One standard-normal draw per (trial, position), shared by all
+    # candidates: candidate c consumes the first sizes[c] columns of each
+    # trial's stream — exactly what the scalar path draws.  Memoized per
+    # (seed, trials) so repeated evaluations (grid cells, bisection probes)
+    # don't redraw identical normals.
+    z = _standard_normal_matrix(seed, trials, p_max)
+    shadow = np.empty((n_cand, trials))
+    shadow[:] = sigma * z[:, 0]
+    mins = snr[:, :1] + shadow
+    for i in range(1, p_max):
+        shadow = rho[:, i - 1:i] * shadow + innovation[:, i - 1:i] * z[:, i]
+        np.minimum(mins, snr[:, i:i + 1] + shadow, out=mins)
+    mins.flags.writeable = False
+    return mins
+
+
+def outage_matrix(profiles,
+                  shadowing: LogNormalShadowing | None = None,
+                  threshold_db: float = constants.PEAK_SNR_CRITERION_DB,
+                  trials: int = 200,
+                  seed: int = 2022,
+                  engine: str = "batched") -> OutageMatrix:
+    """Monte-Carlo shadowing outage of many profiles, common random numbers.
+
+    Parameters
+    ----------
+    profiles:
+        :class:`repro.radio.link.SnrProfile` sequence (e.g. from
+        :func:`repro.radio.batch.evaluate_scenarios`); position grids may be
+        ragged across profiles.
+    shadowing:
+        The :class:`LogNormalShadowing` overlay (default parameters if None).
+    engine:
+        ``"batched"`` (default) or ``"scalar"``; both produce bit-identical
+        matrices, the scalar path is the audit/reference implementation.
+
+    Each profile sees the same per-trial shadowing streams (CRN), so
+    cross-profile comparisons — outage-vs-ISD curves, bisection over the
+    feasibility boundary — are free of independent sampling noise.
+    """
+    profiles = list(profiles)
+    if not profiles:
+        raise ConfigurationError("outage_matrix needs at least one profile")
+    if any(np.asarray(p.positions_m).size == 0 for p in profiles):
+        raise ConfigurationError("profiles must have at least one position")
+    if trials <= 0:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    shadowing = shadowing or LogNormalShadowing()
+    if engine == "scalar":
+        mins = _outage_matrix_scalar(profiles, shadowing, trials, seed)
+    elif engine == "batched":
+        mins = _outage_matrix_batched(profiles, shadowing, trials, seed)
+    else:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected 'batched' or 'scalar'")
+    return OutageMatrix(min_snr_db=mins, threshold_db=threshold_db, seed=seed)

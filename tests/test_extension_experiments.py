@@ -78,8 +78,9 @@ class TestRobustnessExperiment:
     def test_registered_isds_are_fragile(self):
         # The registered maxima have no margin: real shadowing breaks them.
         result = run_robustness(sigma_db=4.0, trials=30, counts=(1, 10))
-        for _, _, outage in result.rows:
+        for _, _, outage, ci_low, ci_high in result.rows:
             assert outage > 0.3
+            assert ci_low <= outage <= ci_high
 
     def test_mild_shadowing_less_outage(self):
         harsh = run_robustness(sigma_db=6.0, trials=30, counts=(1,))

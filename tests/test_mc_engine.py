@@ -1,0 +1,342 @@
+"""Tests for the vectorized Monte-Carlo shadowing engine.
+
+The contract mirrors the radio and solar batch layers: the batched kernel is
+trial-for-trial **bit-identical** to the scalar reference (same generator
+seeding, same draw order, elementwise-identical arithmetic), across uniform
+and irregular position grids, zero sigma, and single-position profiles.
+"""
+
+import numpy as np
+import pytest
+
+from repro.corridor.layout import CorridorLayout
+from repro.errors import ConfigurationError
+from repro.optimize.mc import (
+    outage_matrix,
+    trial_generators,
+    wilson_interval,
+)
+from repro.optimize.robustness import outage_probability, robust_max_isd
+from repro.propagation.fading import LogNormalShadowing
+from repro.radio.batch import evaluate_scenarios
+from repro.radio.link import SnrProfile
+from repro.scenario.spec import Scenario
+
+
+def _profiles(isds_n=((1250.0, 1), (2400.0, 8), (500.0, 0)), resolution_m=10.0):
+    layouts = [CorridorLayout.with_uniform_repeaters(isd, n) if n
+               else CorridorLayout.conventional() for isd, n in isds_n]
+    return evaluate_scenarios(
+        [Scenario(layout=lo, resolution_m=resolution_m) for lo in layouts])
+
+
+def _synthetic_profile(positions, snr):
+    """Profile on an arbitrary (possibly irregular) position grid."""
+    positions = np.asarray(positions, dtype=float)
+    snr = np.asarray(snr, dtype=float)
+    return SnrProfile(positions_m=positions,
+                      source_rsrp_dbm=snr[None, :],
+                      total_signal_dbm=snr,
+                      total_noise_dbm=np.zeros_like(snr),
+                      snr_db=snr)
+
+
+class TestSampleBatch:
+    def test_matches_scalar_uniform_grid(self):
+        model = LogNormalShadowing(sigma_db=4.0)
+        pos = np.arange(0.0, 500.0, 5.0)
+        batch = model.sample_batch(pos, trial_generators(7, 20))
+        for t, rng in enumerate(trial_generators(7, 20)):
+            assert np.array_equal(batch[t], model.sample(pos, rng))
+
+    def test_matches_scalar_irregular_grid(self):
+        model = LogNormalShadowing(sigma_db=3.0, decorrelation_m=30.0)
+        pos = np.array([0.0, 4.0, 5.0, 50.0, 51.0, 300.0, 1000.0])
+        batch = model.sample_batch(pos, trial_generators(11, 16))
+        for t, rng in enumerate(trial_generators(11, 16)):
+            assert np.array_equal(batch[t], model.sample(pos, rng))
+
+    def test_single_position(self):
+        model = LogNormalShadowing(sigma_db=4.0)
+        pos = np.array([100.0])
+        batch = model.sample_batch(pos, trial_generators(3, 8))
+        assert batch.shape == (8, 1)
+        for t, rng in enumerate(trial_generators(3, 8)):
+            assert np.array_equal(batch[t], model.sample(pos, rng))
+
+    def test_zero_sigma_gives_zeros(self):
+        model = LogNormalShadowing(sigma_db=0.0)
+        batch = model.sample_batch(np.arange(0.0, 100.0, 10.0),
+                                   trial_generators(0, 4))
+        assert batch.shape == (4, 10)
+        assert np.all(batch == 0.0)
+
+    def test_coefficients_cached_per_spacing_fingerprint(self):
+        model = LogNormalShadowing(sigma_db=4.0)
+        pos = np.arange(0.0, 400.0, 5.0)
+        first = model.coefficients(pos)
+        again = model.coefficients(pos)
+        assert first[0] is again[0] and first[1] is again[1]
+        # Same spacings at a different origin share the entry too.
+        shifted = model.coefficients(pos + 123.0)
+        assert shifted[0] is first[0]
+        # Cached arrays are read-only.
+        with pytest.raises(ValueError):
+            first[0][0] = 0.0
+
+    def test_trial_generators_are_reproducible(self):
+        a = [rng.standard_normal(3) for rng in trial_generators(5, 4)]
+        b = [rng.standard_normal(3) for rng in trial_generators(5, 4)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+        # Distinct trials get distinct streams.
+        assert not np.array_equal(a[0], a[1])
+
+
+class TestOutageMatrix:
+    def test_batched_equals_scalar_ragged(self):
+        profiles = _profiles()
+        shadowing = LogNormalShadowing(sigma_db=4.0)
+        batched = outage_matrix(profiles, shadowing, trials=40)
+        scalar = outage_matrix(profiles, shadowing, trials=40, engine="scalar")
+        assert np.array_equal(batched.min_snr_db, scalar.min_snr_db)
+        assert np.array_equal(batched.outage_counts, scalar.outage_counts)
+
+    def test_batched_equals_scalar_irregular_positions(self):
+        profiles = [
+            _synthetic_profile([0.0, 3.0, 10.0, 200.0], [30.0, 29.5, 31.0, 28.0]),
+            _synthetic_profile([0.0, 50.0], [35.0, 27.0]),
+            _synthetic_profile([42.0], [29.5]),
+        ]
+        shadowing = LogNormalShadowing(sigma_db=5.0, decorrelation_m=20.0)
+        batched = outage_matrix(profiles, shadowing, trials=64, seed=9)
+        scalar = outage_matrix(profiles, shadowing, trials=64, seed=9,
+                               engine="scalar")
+        assert np.array_equal(batched.min_snr_db, scalar.min_snr_db)
+
+    def test_zero_sigma_reduces_to_deterministic(self):
+        profiles = _profiles()
+        matrix = outage_matrix(profiles, LogNormalShadowing(sigma_db=0.0),
+                               trials=6)
+        scalar = outage_matrix(profiles, LogNormalShadowing(sigma_db=0.0),
+                               trials=6, engine="scalar")
+        assert np.array_equal(matrix.min_snr_db, scalar.min_snr_db)
+        for c, profile in enumerate(profiles):
+            assert np.all(matrix.min_snr_db[c] == profile.min_snr_db)
+
+    def test_common_random_numbers_prefix_property(self):
+        # A candidate's trials do not depend on which other candidates are
+        # stacked with it: every candidate consumes a prefix of the same
+        # per-trial streams.
+        profiles = _profiles()
+        joint = outage_matrix(profiles, trials=25, seed=4)
+        for c, profile in enumerate(profiles):
+            alone = outage_matrix([profile], trials=25, seed=4)
+            assert np.array_equal(alone.min_snr_db[0], joint.min_snr_db[c])
+
+    def test_z_cache_prefix_reuse_bit_identical(self):
+        # Evaluations at different grid lengths under one (seed, trials)
+        # share the memoized standard-normal matrix (prefix views); results
+        # must stay bit-identical to the scalar path in any call order.
+        profiles = _profiles()
+        small_first = outage_matrix([profiles[2]], trials=15, seed=21)
+        big = outage_matrix(profiles, trials=15, seed=21)
+        scalar = outage_matrix(profiles, trials=15, seed=21, engine="scalar")
+        assert np.array_equal(big.min_snr_db, scalar.min_snr_db)
+        assert np.array_equal(small_first.min_snr_db[0], big.min_snr_db[2])
+
+    def test_seed_changes_samples(self):
+        profiles = _profiles()[:1]
+        a = outage_matrix(profiles, trials=10, seed=1)
+        b = outage_matrix(profiles, trials=10, seed=2)
+        assert not np.array_equal(a.min_snr_db, b.min_snr_db)
+
+    def test_quantile_and_ci(self):
+        matrix = outage_matrix(_profiles(), trials=50)
+        medians = matrix.quantile(0.5)
+        assert medians.shape == (3,)
+        low, high = matrix.ci95()
+        assert np.all(low >= 0.0) and np.all(high <= 1.0)
+        assert np.all(low <= matrix.outage_probability)
+        assert np.all(matrix.outage_probability <= high)
+
+    def test_matrix_eq_hash_and_readonly(self):
+        profiles = _profiles()[:1]
+        a = outage_matrix(profiles, trials=10, seed=1)
+        b = outage_matrix(profiles, trials=10, seed=1)
+        assert a == b and hash(a) == hash(b)
+        assert a != outage_matrix(profiles, trials=10, seed=2)
+        with pytest.raises(ValueError):
+            a.min_snr_db[0, 0] = 0.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            outage_matrix([], trials=10)
+        with pytest.raises(ConfigurationError):
+            outage_matrix(_profiles(), trials=0)
+        with pytest.raises(ConfigurationError):
+            outage_matrix(_profiles(), trials=10, engine="gpu")
+        # An empty position grid must fail on both engines alike.
+        empty = _synthetic_profile(np.empty(0), np.empty(0))
+        for engine in ("batched", "scalar"):
+            with pytest.raises(ConfigurationError):
+                outage_matrix([empty], trials=5, engine=engine)
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        for k in (0, 1, 25, 49, 50):
+            low, high = wilson_interval(k, 50)
+            assert low <= k / 50 <= high
+            assert 0.0 <= low and high <= 1.0
+
+    def test_bounds_stay_in_unit_interval(self):
+        # Float rounding pushes the raw Wilson bounds past [0, 1] for many
+        # trial counts; the clamp must hold at both saturated extremes.
+        for n in (1, 16, 27, 100, 4999):
+            low, high = wilson_interval(n, n)
+            assert high <= 1.0 and low >= 0.0
+            low, high = wilson_interval(0, n)
+            assert low >= 0.0 and high <= 1.0
+
+    def test_tightens_with_trials(self):
+        l1, h1 = wilson_interval(5, 20)
+        l2, h2 = wilson_interval(50, 200)
+        assert h2 - l2 < h1 - l1
+
+    def test_vectorized(self):
+        low, high = wilson_interval(np.array([0, 10, 20]), 20)
+        assert low.shape == (3,)
+        assert np.all(low < high)
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ConfigurationError):
+            wilson_interval(1, 0)
+
+
+class TestOutageResultHelpers:
+    def test_samples_are_readonly_ndarray(self):
+        layout = CorridorLayout.with_uniform_repeaters(1250.0, 1)
+        result = outage_probability(layout, trials=20, resolution_m=10.0)
+        assert isinstance(result.min_snr_samples_db, np.ndarray)
+        assert result.min_snr_samples_db.shape == (20,)
+        with pytest.raises(ValueError):
+            result.min_snr_samples_db[0] = 0.0
+
+    def test_quantile_and_ci95(self):
+        layout = CorridorLayout.with_uniform_repeaters(1250.0, 1)
+        result = outage_probability(layout, trials=40, resolution_m=10.0)
+        assert result.quantile(0.5) == pytest.approx(result.median_min_snr_db)
+        assert result.quantile(0.1) <= result.quantile(0.9)
+        low, high = result.ci95()
+        assert low <= result.outage_probability <= high
+
+    def test_engine_scalar_bit_identical(self):
+        layout = CorridorLayout.with_uniform_repeaters(1250.0, 1)
+        batched = outage_probability(layout, trials=30, resolution_m=10.0)
+        scalar = outage_probability(layout, trials=30, resolution_m=10.0,
+                                    engine="scalar")
+        assert batched.outages == scalar.outages
+        assert np.array_equal(batched.min_snr_samples_db,
+                              scalar.min_snr_samples_db)
+
+
+class TestRobustMaxIsdBisection:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("sigma_db", (2.0, 4.0))
+    def test_exhaustive_equals_bisection_seed_sweep(self, seed, sigma_db):
+        shadowing = LogNormalShadowing(sigma_db=sigma_db)
+        kwargs = dict(target_outage=0.1, shadowing=shadowing, trials=40,
+                      resolution_m=10.0, isd_max_m=1500.0, seed=seed)
+        assert (robust_max_isd(1, **kwargs)
+                == robust_max_isd(1, exhaustive=True, **kwargs))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_exhaustive_equals_bisection_multi_repeater(self, seed):
+        kwargs = dict(target_outage=0.3,
+                      shadowing=LogNormalShadowing(sigma_db=2.0), trials=30,
+                      resolution_m=10.0, isd_max_m=1200.0, seed=seed)
+        assert (robust_max_isd(2, **kwargs)
+                == robust_max_isd(2, exhaustive=True, **kwargs))
+
+    def test_scalar_engine_equals_batched(self):
+        kwargs = dict(target_outage=0.1,
+                      shadowing=LogNormalShadowing(sigma_db=4.0), trials=30,
+                      resolution_m=10.0, isd_max_m=1500.0, seed=3)
+        assert (robust_max_isd(1, engine="scalar", **kwargs)
+                == robust_max_isd(1, **kwargs))
+
+    @pytest.mark.parametrize("exhaustive", (False, True))
+    def test_infeasible_raises_infeasible_error(self, exhaustive):
+        from repro.errors import InfeasibleError
+
+        # N=8 at the registered maxima has no margin; a 1% target under
+        # harsh shadowing is unreachable on any candidate.
+        with pytest.raises(InfeasibleError):
+            robust_max_isd(8, target_outage=0.01,
+                           shadowing=LogNormalShadowing(sigma_db=6.0),
+                           trials=20, resolution_m=10.0, isd_max_m=1700.0,
+                           exhaustive=exhaustive)
+
+
+class TestRobustnessGridExperiment:
+    def test_grid_shape_and_monotone_sigma(self):
+        from repro.experiments.extensions import run_robustness_grid
+
+        result = run_robustness_grid(n_repeaters=1, isds_m=(1000.0, 1250.0),
+                                     sigmas=(1.0, 4.0), decorrelations_m=(50.0,),
+                                     trials=40)
+        assert len(result.rows) == 2 * 1 * 2
+        by_cell = {(r[0], r[2]): r[3] for r in result.rows}
+        # More shadowing, more outage (common random numbers per cell).
+        for isd in (1000.0, 1250.0):
+            assert by_cell[(1.0, isd)] <= by_cell[(4.0, isd)]
+        # Larger ISD, more outage at fixed sigma.
+        for sigma in (1.0, 4.0):
+            assert by_cell[(sigma, 1000.0)] <= by_cell[(sigma, 1250.0)]
+        series = result.series()
+        assert len(series["outage_probability"]) == len(result.rows)
+        assert "robustness grid" in result.table()
+
+    def test_registered_and_runs_via_registry(self, tmp_path):
+        from repro.experiments.runner import ALL_EXPERIMENTS, run_experiment
+
+        assert "robustness-grid" in ALL_EXPERIMENTS
+        run_experiment("robustness-grid", output_dir=tmp_path, trials=10,
+                       sigmas=(4.0,))
+        assert (tmp_path / "robustness-grid.csv").exists()
+
+    def test_noise_ablation_robust_overlay(self):
+        from repro.experiments.ablations import run_noise_ablation
+
+        result = run_noise_ablation(n_max=1, resolution_m=10.0, sigmas=(4.0,),
+                                    trials=20, robust_target_outage=0.2)
+        assert result.robust is not None
+        for per_model in result.robust.values():
+            # Robust ISD backs off the deterministic maximum.
+            assert per_model[4.0] < 1300.0
+        assert "Robust max ISD" in result.table()
+
+    def test_noise_ablation_rejects_bad_robust_inputs(self):
+        # Parameter errors must propagate, never masquerade as NaN
+        # "infeasible" cells (only InfeasibleError is treated as a finding).
+        from repro.experiments.ablations import run_noise_ablation
+
+        with pytest.raises(ConfigurationError):
+            run_noise_ablation(n_max=1, resolution_m=10.0, sigmas=(-2.0,))
+        with pytest.raises(ConfigurationError):
+            run_noise_ablation(n_max=1, resolution_m=10.0, sigmas=(4.0,),
+                               trials=0)
+        with pytest.raises(ConfigurationError):
+            run_noise_ablation(n_max=1, resolution_m=10.0, sigmas=(4.0,),
+                               robust_target_outage=1.5)
+
+    def test_cli_flags(self, capsys):
+        from repro.cli import main
+
+        assert main(["robustness-grid", "--trials", "8", "--sigmas", "4",
+                     "--quiet"]) == 0
+        with pytest.raises(SystemExit):
+            main(["robustness-grid", "--sigmas", "abc"])
+        with pytest.raises(SystemExit):
+            main(["robustness-grid", "--trials", "0"])
