@@ -16,7 +16,8 @@ def bench_des_sleep_mode_day(benchmark):
     layout = CorridorLayout.with_uniform_repeaters(2650.0, 10)
 
     sim_result = benchmark(
-        lambda: CorridorSimulation(layout, mode=OperatingMode.SLEEP).run())
+        lambda: CorridorSimulation(layout,
+                                   mode=OperatingMode.SLEEP).run(engine="event"))
 
     analytic = segment_energy(layout, OperatingMode.SLEEP).w_per_km
     assert sim_result.avg_w_per_km == pytest.approx(analytic, rel=0.02)

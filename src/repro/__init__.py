@@ -60,7 +60,13 @@ from repro.radio import (
 )
 from repro.radio.uplink import UplinkParams, compute_uplink_profile
 from repro.scenario import ProfileCache, Scenario, ScenarioGrid
-from repro.traffic import TrafficParams, duty_cycle, generate_timetable
+from repro.traffic import (
+    TrafficParams,
+    day_timetables,
+    duty_cycle,
+    generate_timetable,
+)
+from repro.simulation import CorridorSimulation, simulate_days
 from repro.mobility import simulate_traversal
 from repro.emf import node_compliance
 from repro.economics import corridor_cost, retrofit_payback_years
@@ -95,6 +101,9 @@ __all__ = [
     "TrafficParams",
     "duty_cycle",
     "generate_timetable",
+    "day_timetables",
+    "CorridorSimulation",
+    "simulate_days",
     "EnergyParams",
     "OperatingMode",
     "segment_energy",

@@ -88,6 +88,21 @@ def build_parser() -> argparse.ArgumentParser:
              "(e.g. 2,4,6); also enables the robust max-ISD overlay of "
              "abl-noise",
     )
+    parser.add_argument(
+        "--realizations",
+        type=int,
+        metavar="R",
+        default=None,
+        help="seeded Poisson timetable realizations per cell of the sim-grid "
+             "day-simulation sweep",
+    )
+    parser.add_argument(
+        "--headways",
+        metavar="S[,S...]",
+        default=None,
+        help="mean headway axis [s] of the sim-grid sweep, comma separated "
+             "(e.g. 300,450,900)",
+    )
     return parser
 
 
@@ -134,6 +149,12 @@ def _engine_kwargs(args: argparse.Namespace) -> dict:
     if args.sigmas is not None:
         # sigma 0 is the valid no-shadowing anchor of a grid study.
         kwargs["sigmas"] = _parse_axis(args.sigmas, "--sigmas", allow_zero=True)
+    if args.realizations is not None:
+        if args.realizations < 1:
+            raise SystemExit("--realizations must be >= 1")
+        kwargs["realizations"] = args.realizations
+    if args.headways is not None:
+        kwargs["headways"] = _parse_axis(args.headways, "--headways")
     return kwargs
 
 

@@ -17,10 +17,12 @@ from repro.energy.duty import (
 from repro.energy.scenario import OperatingMode, SegmentEnergy, segment_energy
 from repro.energy.analysis import (
     CorridorComparison,
+    PolicyEnergy,
     compare_deployments,
     conventional_reference_w_per_km,
     fig4_rows,
     savings_fraction,
+    simulated_policy_comparison,
 )
 
 __all__ = [
@@ -37,4 +39,6 @@ __all__ = [
     "fig4_rows",
     "CorridorComparison",
     "compare_deployments",
+    "PolicyEnergy",
+    "simulated_policy_comparison",
 ]

@@ -31,6 +31,7 @@ from repro.experiments.extensions import (
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig4 import run_fig4
 from repro.experiments.maxisd import run_maxisd
+from repro.experiments.simgrid import run_sim_grid
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
 from repro.experiments.table3 import run_table3
@@ -44,9 +45,11 @@ __all__ = ["ALL_EXPERIMENTS", "ENGINE_KWARGS", "run_experiment", "run_all"]
 #: ``battery_whs`` set the candidate axes of the ``table4-grid`` sweep;
 #: ``trials`` (``robustness-grid``, ``ext-robust``, ``abl-noise``) and
 #: ``sigmas`` (``robustness-grid``, ``abl-noise``) parameterize the
-#: Monte-Carlo shadowing studies.
+#: Monte-Carlo shadowing studies; ``realizations`` / ``headways`` set the
+#: timetable fleet and headway axis of the ``sim-grid`` day-simulation sweep.
 ENGINE_KWARGS = frozenset({"jobs", "cache", "exhaustive", "weather_cache",
-                           "pv_peaks", "battery_whs", "trials", "sigmas"})
+                           "pv_peaks", "battery_whs", "trials", "sigmas",
+                           "realizations", "headways"})
 
 
 @dataclass(frozen=True)
@@ -87,6 +90,9 @@ ALL_EXPERIMENTS: dict[str, ExperimentSpec] = {
         ExperimentSpec("table4", "Off-grid PV dimensioning, four regions", run_table4),
         ExperimentSpec("table4-grid", "Off-grid candidate grid (PV x battery), four regions",
                        run_table4_grid),
+        ExperimentSpec("sim-grid",
+                       "Monte-Carlo day simulation (headway x trains/day x policy)",
+                       run_sim_grid),
         ExperimentSpec("abl-noise", "Ablation: repeater-noise models", run_noise_ablation),
         ExperimentSpec("abl-place", "Ablation: repeater placement", run_placement_ablation),
         ExperimentSpec("abl-sleep", "Ablation: wake-transition time", run_sleep_ablation),

@@ -1,0 +1,152 @@
+"""sim-grid — Monte-Carlo day-simulation sweep over the traffic scenario.
+
+The paper's Table III fixes one traffic scenario (8 trains/h, 19 service
+hours).  This experiment sweeps the *demand* axes instead: mean headway x
+trains per day x sleep policy, each cell evaluated over a fleet of seeded
+Poisson timetable realizations through the vectorized day engine
+(:mod:`repro.simulation.batch`) — the traffic-demand-aware direction of
+Pollakis et al.  Within a cell the three policies share one timetable fleet
+(common random numbers), so the simulated policy gaps carry no timetable
+noise; the analytic duty-cycle figure anchors each cell.
+
+A (headway, trains/day) pair implies the service window: ``service_hours =
+trains_per_day * headway / 3600``.  Pairs that need more than 24 h are
+reported as infeasible (NaN) rows — demand that cannot be scheduled.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro import constants
+from repro.corridor.layout import CorridorLayout
+from repro.energy.duty import EnergyParams
+from repro.energy.scenario import OperatingMode, segment_energy
+from repro.errors import ConfigurationError
+from repro.reporting.tables import format_table
+from repro.simulation.batch import simulate_days
+from repro.traffic.timetable import day_timetables
+from repro.traffic.trains import TrafficParams
+
+__all__ = ["SimGridRow", "SimGridResult", "run_sim_grid"]
+
+
+@dataclass(frozen=True)
+class SimGridRow:
+    """One (headway, trains/day, policy) cell of the sweep."""
+
+    headway_s: float
+    trains_per_day: float
+    service_hours: float
+    mode: OperatingMode
+    realizations: int
+    mean_w_per_km: float
+    std_w_per_km: float
+    ci95_low: float
+    ci95_high: float
+    analytic_w_per_km: float
+
+    @property
+    def feasible(self) -> bool:
+        return not math.isnan(self.mean_w_per_km)
+
+    @property
+    def bias_pct(self) -> float:
+        """Simulated-minus-analytic bias in percent (NaN when infeasible)."""
+        return 100.0 * (self.mean_w_per_km / self.analytic_w_per_km - 1.0)
+
+
+@dataclass(frozen=True)
+class SimGridResult:
+    """All sweep cells plus the engine/seed provenance."""
+
+    isd_m: float
+    n_repeaters: int
+    rows: list[SimGridRow]
+    seed: int
+    engine: str
+
+    def series(self) -> dict[str, list]:
+        return {
+            "headway_s": [r.headway_s for r in self.rows],
+            "trains_per_day": [r.trains_per_day for r in self.rows],
+            "service_hours": [r.service_hours for r in self.rows],
+            "mode": [r.mode.value for r in self.rows],
+            "realizations": [r.realizations for r in self.rows],
+            "mean_w_per_km": [r.mean_w_per_km for r in self.rows],
+            "std_w_per_km": [r.std_w_per_km for r in self.rows],
+            "ci95_low": [r.ci95_low for r in self.rows],
+            "ci95_high": [r.ci95_high for r in self.rows],
+            "analytic_w_per_km": [r.analytic_w_per_km for r in self.rows],
+        }
+
+    def table(self) -> str:
+        rows = [[r.headway_s, r.trains_per_day, r.mode.value,
+                 r.mean_w_per_km, r.std_w_per_km, r.analytic_w_per_km,
+                 r.bias_pct]
+                for r in self.rows]
+        return format_table(
+            ["headway [s]", "trains/day", "policy", "sim [W/km]",
+             "std", "analytic [W/km]", "bias %"],
+            rows,
+            title=(f"sim-grid: ISD {self.isd_m:.0f} m, N={self.n_repeaters}, "
+                   f"{self.engine} engine, seed {self.seed}"))
+
+
+def run_sim_grid(isd_m: float = 2400.0,
+                 n_repeaters: int = 8,
+                 headways=(300.0, 450.0, 900.0),
+                 trains_per_day=(76.0, 152.0),
+                 realizations: int = 25,
+                 seed: int = 0,
+                 transition_s: float = constants.SLEEP_TRANSITION_S,
+                 wake_lead_m: float = 50.0,
+                 engine: str = "batch") -> SimGridResult:
+    """Sweep (headway x trains/day x policy) through the day engine."""
+    if realizations < 1:
+        raise ConfigurationError(
+            f"realizations must be >= 1, got {realizations}")
+    if not headways or any(h <= 0 for h in headways):
+        raise ConfigurationError(f"headways must be positive, got {headways}")
+    if not trains_per_day or any(n <= 0 for n in trains_per_day):
+        raise ConfigurationError(
+            f"trains/day must be positive, got {trains_per_day}")
+    layout = CorridorLayout.with_uniform_repeaters(isd_m, n_repeaters)
+
+    rows: list[SimGridRow] = []
+    nan = float("nan")
+    for headway in headways:
+        for tpd in trains_per_day:
+            service_hours = tpd * headway / 3600.0
+            feasible = service_hours <= 24.0
+            if feasible:
+                traffic = TrafficParams(trains_per_hour=3600.0 / headway,
+                                        night_quiet_hours=24.0 - service_hours)
+                params = EnergyParams(traffic=traffic)
+                timetables = day_timetables(traffic, realizations=realizations,
+                                            seed=seed, segment_length_m=isd_m)
+            for mode in OperatingMode:
+                if not feasible:
+                    rows.append(SimGridRow(
+                        headway_s=headway, trains_per_day=tpd,
+                        service_hours=service_hours, mode=mode,
+                        realizations=0, mean_w_per_km=nan, std_w_per_km=nan,
+                        ci95_low=nan, ci95_high=nan, analytic_w_per_km=nan))
+                    continue
+                sim = simulate_days(layout, mode=mode, params=params,
+                                    timetables=timetables,
+                                    transition_s=transition_s,
+                                    wake_lead_m=wake_lead_m, engine=engine)
+                ci_low, ci_high = sim.ci95_w_per_km()
+                rows.append(SimGridRow(
+                    headway_s=headway, trains_per_day=tpd,
+                    service_hours=service_hours, mode=mode,
+                    realizations=sim.realizations,
+                    mean_w_per_km=sim.mean_w_per_km(),
+                    std_w_per_km=sim.std_w_per_km(),
+                    ci95_low=ci_low, ci95_high=ci_high,
+                    analytic_w_per_km=segment_energy(layout, mode,
+                                                     params).w_per_km))
+    return SimGridResult(isd_m=isd_m, n_repeaters=n_repeaters, rows=rows,
+                         seed=seed, engine=engine)

@@ -12,6 +12,8 @@ from repro.simulation.engine import Simulator
 from repro.simulation.statemachine import NodeState, PowerStateMachine
 from repro.simulation.detectors import PhotoelectricBarrier
 from repro.simulation.recorder import EnergyRecorder
+from repro.simulation.elements import ElementSpec, corridor_elements
+from repro.simulation.batch import DayBatchResult, simulate_days
 from repro.simulation.corridor_sim import CorridorSimulation, SimulatedEnergy
 
 __all__ = [
@@ -20,6 +22,10 @@ __all__ = [
     "PowerStateMachine",
     "PhotoelectricBarrier",
     "EnergyRecorder",
+    "ElementSpec",
+    "corridor_elements",
+    "DayBatchResult",
+    "simulate_days",
     "CorridorSimulation",
     "SimulatedEnergy",
 ]

@@ -1,9 +1,13 @@
-"""Event-driven simulation of one corridor segment over a timetable.
+"""Simulation of one corridor segment over a timetable.
 
-Builds the segment's devices (HP mast RRHs, service nodes, donor nodes), a
-photoelectric barrier per device section, feeds a timetable through them and
-integrates energy.  The result carries the same per-kilometre figures as the
-analytic model for direct comparison.
+Builds the segment's elements (HP mast RRHs, service nodes, donor nodes) from
+the shared :mod:`repro.simulation.elements` specs, feeds a timetable through
+them and integrates energy.  Since PR 4 the heavy lifting happens in the
+vectorized day engine (:func:`repro.simulation.batch.simulate_days`);
+``engine="event"`` replays the same timetable through the scalar event queue
+(photoelectric barrier -> power state machine -> energy recorder) and is the
+bit-comparable escape hatch.  The result carries the same per-kilometre
+figures as the analytic model for direct comparison.
 """
 
 from __future__ import annotations
@@ -14,11 +18,6 @@ from repro import constants
 from repro.corridor.layout import CorridorLayout
 from repro.energy.duty import EnergyParams
 from repro.energy.scenario import OperatingMode
-from repro.errors import ConfigurationError
-from repro.simulation.detectors import PhotoelectricBarrier
-from repro.simulation.engine import Simulator
-from repro.simulation.recorder import EnergyRecorder
-from repro.simulation.statemachine import PowerStateMachine
 from repro.traffic.timetable import Timetable, generate_timetable
 
 __all__ = ["CorridorSimulation", "SimulatedEnergy"]
@@ -26,7 +25,11 @@ __all__ = ["CorridorSimulation", "SimulatedEnergy"]
 
 @dataclass(frozen=True)
 class SimulatedEnergy:
-    """Energy outcome of an event-driven corridor segment simulation."""
+    """Energy outcome of a simulated corridor segment day.
+
+    ``events_processed`` counts fired event-queue callbacks and is 0 under
+    the batched engine (which has no event queue).
+    """
 
     layout: CorridorLayout
     mode: OperatingMode
@@ -69,97 +72,25 @@ class CorridorSimulation:
             self.timetable = generate_timetable(self.params.traffic,
                                                 segment_length_m=self.layout.isd_m)
 
-    # -- device construction ---------------------------------------------------
+    def run(self, engine: str = "batch") -> SimulatedEnergy:
+        """Simulate the whole timetable horizon and integrate energy.
 
-    def _devices(self) -> list[tuple[str, PowerStateMachine, PhotoelectricBarrier]]:
-        sleeping_lp = self.mode is not OperatingMode.CONTINUOUS
-        p = self.params
-        devices: list[tuple[str, PowerStateMachine, PhotoelectricBarrier]] = []
+        ``engine="batch"`` (default) routes through the vectorized day
+        engine; ``engine="event"`` walks the scalar event queue (identical
+        results to ~1e-9, asserted in the cross-engine parity tests).
+        """
+        from repro.simulation.batch import simulate_days
 
-        hp_model = p.hp_profile.model
-        mast = PowerStateMachine(
-            name="hp/mast",
-            full_load_w=p.rrh_per_mast * hp_model.full_load_w,
-            no_load_w=p.rrh_per_mast * hp_model.no_load_w,
-            sleep_w=p.rrh_per_mast * hp_model.p_sleep_w,
-            sleep_capable=True,
-            transition_s=self.transition_s,
-        )
-        devices.append(("hp/mast", mast,
-                        PhotoelectricBarrier(0.0, self.layout.isd_m, self.wake_lead_m)))
-
-        half = p.lp_section_m / 2.0
-        for i, pos in enumerate(self.layout.repeater_positions_m):
-            node = PowerStateMachine(
-                name=f"service/{i}",
-                full_load_w=p.lp_full_w,
-                no_load_w=p.lp_no_load_w,
-                sleep_w=p.lp_sleep_w,
-                sleep_capable=sleeping_lp,
-                transition_s=self.transition_s,
-            )
-            barrier = PhotoelectricBarrier(
-                max(0.0, pos - half), min(self.layout.isd_m, pos + half),
-                self.wake_lead_m)
-            devices.append((node.name, node, barrier))
-
-        # Donor nodes: active while a train overlaps their served span.
-        positions = self.layout.repeater_positions_m
-        n_donors = self.layout.n_donor_nodes
-        if n_donors:
-            if n_donors == 1:
-                groups = [positions]
-            else:
-                split = (len(positions) + 1) // 2
-                groups = [positions[:split], positions[split:]]
-            for j, group in enumerate(groups):
-                if not group:
-                    continue
-                donor = PowerStateMachine(
-                    name=f"donor/{j}",
-                    full_load_w=p.lp_full_w,
-                    no_load_w=p.lp_no_load_w,
-                    sleep_w=p.lp_sleep_w,
-                    sleep_capable=sleeping_lp,
-                    transition_s=self.transition_s,
-                )
-                barrier = PhotoelectricBarrier(
-                    max(0.0, group[0] - half), min(self.layout.isd_m, group[-1] + half),
-                    self.wake_lead_m)
-                devices.append((donor.name, donor, barrier))
-        return devices
-
-    # -- execution ---------------------------------------------------------------
-
-    def run(self) -> SimulatedEnergy:
-        """Simulate the whole timetable horizon and integrate energy."""
-        if self.timetable.horizon_s <= 0:
-            raise ConfigurationError("timetable horizon must be positive")
-        sim = Simulator()
-        recorder = EnergyRecorder()
-        devices = self._devices()
-        for _, machine, __ in devices:
-            machine.attach(recorder, sim)
-
-        for run in self.timetable:
-            for _, machine, barrier in devices:
-                wake, enter, exit_ = barrier.events_for(run, self.layout.isd_m)
-                if exit_ <= 0 or wake >= self.timetable.horizon_s:
-                    continue
-                if machine.sleep_capable:
-                    sim.schedule_at(max(0.0, wake), machine.wake)
-                sim.schedule_at(max(0.0, enter), machine.train_enter)
-                sim.schedule_at(max(0.0, exit_), machine.train_exit)
-
-        sim.run(until=self.timetable.horizon_s)
-        recorder.finalize(self.timetable.horizon_s)
-
+        result = simulate_days(
+            self.layout, mode=self.mode, params=self.params,
+            timetables=(self.timetable,), transition_s=self.transition_s,
+            wake_lead_m=self.wake_lead_m, engine=engine)
         return SimulatedEnergy(
             layout=self.layout,
             mode=self.mode,
-            horizon_s=self.timetable.horizon_s,
-            hp_wh=recorder.total_wh("hp/"),
-            service_wh=recorder.total_wh("service/"),
-            donor_wh=recorder.total_wh("donor/"),
-            events_processed=sim.processed,
+            horizon_s=result.horizon_s,
+            hp_wh=float(result.hp_wh[0]),
+            service_wh=float(result.service_wh[0]),
+            donor_wh=float(result.donor_wh[0]),
+            events_processed=int(result.events_processed[0]),
         )

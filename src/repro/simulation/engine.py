@@ -85,7 +85,11 @@ class Simulator:
 
     @property
     def processed(self) -> int:
-        """Number of events fired so far."""
+        """Number of callbacks actually fired so far.
+
+        Lazily-cancelled events never count: they are discarded when they
+        reach the head of the queue without firing (pinned in the tests).
+        """
         return self._processed
 
     def step(self) -> bool:
@@ -112,11 +116,13 @@ class Simulator:
         fired = 0
         while self._queue:
             next_event = self._queue[0]
+            if until is not None and next_event.time > until:
+                # Beyond the horizon nothing fires — cancelled or not, the
+                # head stays queued for a later run() call.
+                break
             if next_event.cancelled:
                 heapq.heappop(self._queue)
                 continue
-            if until is not None and next_event.time > until:
-                break
             if not self.step():
                 break
             fired += 1

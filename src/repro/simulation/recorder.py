@@ -14,6 +14,7 @@ class _Track:
     power_w: float
     since_s: float
     energy_j: float = 0.0
+    seconds_by_power: dict[float, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -37,7 +38,10 @@ class EnergyRecorder:
         if now_s < track.since_s - 1e-9:
             raise SimulationError(
                 f"unit {name!r}: time went backwards ({now_s} < {track.since_s})")
-        track.energy_j += track.power_w * max(0.0, now_s - track.since_s)
+        elapsed = max(0.0, now_s - track.since_s)
+        track.energy_j += track.power_w * elapsed
+        track.seconds_by_power[track.power_w] = \
+            track.seconds_by_power.get(track.power_w, 0.0) + elapsed
         track.power_w = power_w
         track.since_s = now_s
 
@@ -59,6 +63,16 @@ class EnergyRecorder:
         """Total energy of all units whose name starts with ``prefix`` [Wh]."""
         return sum(t.energy_j for n, t in self._tracks.items()
                    if n.startswith(prefix)) / 3600.0
+
+    def seconds_at(self, name: str, power_w: float) -> float:
+        """Seconds one unit spent drawing exactly ``power_w`` [W].
+
+        Only meaningful after :meth:`finalize`.  Distinct operating states
+        that draw the same power (e.g. WAKING and NO_LOAD) are merged.
+        """
+        if name not in self._tracks:
+            raise SimulationError(f"unit {name!r} not registered")
+        return self._tracks[name].seconds_by_power.get(power_w, 0.0)
 
     def names(self) -> list[str]:
         return sorted(self._tracks)

@@ -8,7 +8,12 @@ cycle in the paper.
 """
 
 from repro.traffic.trains import Train, TrafficParams
-from repro.traffic.timetable import Timetable, TrainRun, generate_timetable
+from repro.traffic.timetable import (
+    Timetable,
+    TrainRun,
+    day_timetables,
+    generate_timetable,
+)
 from repro.traffic.occupancy import (
     full_load_seconds_per_train,
     duty_cycle,
@@ -22,6 +27,7 @@ __all__ = [
     "Timetable",
     "TrainRun",
     "generate_timetable",
+    "day_timetables",
     "full_load_seconds_per_train",
     "duty_cycle",
     "occupancy_seconds_per_day",

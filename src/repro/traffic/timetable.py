@@ -10,13 +10,14 @@ controller under irregular traffic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.traffic.trains import TrafficParams, Train
 
-__all__ = ["TrainRun", "Timetable", "generate_timetable"]
+__all__ = ["TrainRun", "Timetable", "generate_timetable", "day_timetables"]
 
 _DAY_S = 86_400.0
 
@@ -88,13 +89,15 @@ def generate_timetable(params: TrafficParams | None = None,
                        days: float = 1.0,
                        segment_length_m: float = 0.0,
                        stochastic: bool = False,
-                       seed: int | None = None) -> Timetable:
+                       seed: int | Sequence[int] | None = None) -> Timetable:
     """Build a timetable matching the Table III scenario.
 
     Deterministic mode places trains at exact headway intervals within the
     service window (night gap at the start of each day), alternating
     directions.  Stochastic mode draws exponential headways with the same
-    mean rate (seeded for reproducibility).
+    mean rate; ``seed`` is anything :func:`numpy.random.default_rng` accepts
+    (an int, or a ``[seed, realization]`` sequence for the common-random-
+    number convention of :func:`day_timetables`).
 
     ``segment_length_m`` extends the service window so trains that *enter*
     before the window closes still fully traverse the segment (irrelevant for
@@ -136,3 +139,25 @@ def generate_timetable(params: TrafficParams | None = None,
         runs.sort(key=lambda r: r.t0_s)
 
     return Timetable(runs=tuple(runs), horizon_s=horizon)
+
+
+def day_timetables(params: TrafficParams | None = None,
+                   realizations: int = 1,
+                   seed: int = 0,
+                   days: float = 1.0,
+                   segment_length_m: float = 0.0) -> tuple[Timetable, ...]:
+    """Seeded fleet of stochastic day timetables under common random numbers.
+
+    Realization ``r`` is generated from ``default_rng([seed, r])`` — the same
+    CRN convention as :func:`repro.optimize.mc.trial_generators`: the Poisson
+    day ``r`` depends only on ``(seed, r)``, never on the layout or policy
+    being evaluated, so Monte-Carlo noise cancels out of cross-scenario
+    comparisons that share a seed.
+    """
+    if realizations < 1:
+        raise ConfigurationError(
+            f"realizations must be >= 1, got {realizations}")
+    return tuple(
+        generate_timetable(params, days=days, segment_length_m=segment_length_m,
+                           stochastic=True, seed=[seed, r])
+        for r in range(realizations))

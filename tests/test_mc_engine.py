@@ -49,12 +49,8 @@ class TestSampleBatch:
         for t, rng in enumerate(trial_generators(7, 20)):
             assert np.array_equal(batch[t], model.sample(pos, rng))
 
-    def test_matches_scalar_irregular_grid(self):
-        model = LogNormalShadowing(sigma_db=3.0, decorrelation_m=30.0)
-        pos = np.array([0.0, 4.0, 5.0, 50.0, 51.0, 300.0, 1000.0])
-        batch = model.sample_batch(pos, trial_generators(11, 16))
-        for t, rng in enumerate(trial_generators(11, 16)):
-            assert np.array_equal(batch[t], model.sample(pos, rng))
+    # (Irregular-grid scalar equality over the shared seed sweep lives in
+    # tests/test_engine_parity.py.)
 
     def test_single_position(self):
         model = LogNormalShadowing(sigma_db=4.0)
@@ -94,15 +90,10 @@ class TestSampleBatch:
 
 
 class TestOutageMatrix:
-    def test_batched_equals_scalar_ragged(self):
-        profiles = _profiles()
-        shadowing = LogNormalShadowing(sigma_db=4.0)
-        batched = outage_matrix(profiles, shadowing, trials=40)
-        scalar = outage_matrix(profiles, shadowing, trials=40, engine="scalar")
-        assert np.array_equal(batched.min_snr_db, scalar.min_snr_db)
-        assert np.array_equal(batched.outage_counts, scalar.outage_counts)
+    # Ragged-grid scalar-vs-batched bit-identity over the shared seed sweep
+    # lives in tests/test_engine_parity.py.
 
-    def test_batched_equals_scalar_irregular_positions(self):
+    def test_irregular_positions_supported(self):
         profiles = [
             _synthetic_profile([0.0, 3.0, 10.0, 200.0], [30.0, 29.5, 31.0, 28.0]),
             _synthetic_profile([0.0, 50.0], [35.0, 27.0]),

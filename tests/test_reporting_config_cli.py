@@ -137,3 +137,20 @@ class TestCliEngineFlags:
     def test_rejects_bad_jobs(self):
         with pytest.raises(SystemExit):
             main(["fig3", "--jobs", "0"])
+
+    def test_sim_grid_realizations_and_headways(self, tmp_path, capsys):
+        assert main(["sim-grid", "--realizations", "2",
+                     "--headways", "450,900", "--csv", str(tmp_path),
+                     "--quiet"]) == 0
+        csv_text = (tmp_path / "sim-grid.csv").read_text()
+        assert "450" in csv_text and "900" in csv_text
+        # 2 headways x 2 trains/day defaults x 3 policies = 12 rows + header.
+        assert len(csv_text.strip().splitlines()) == 13
+
+    def test_rejects_bad_realizations(self):
+        with pytest.raises(SystemExit):
+            main(["sim-grid", "--realizations", "0"])
+
+    def test_rejects_bad_headways(self):
+        with pytest.raises(SystemExit):
+            main(["sim-grid", "--headways", "450,-1"])

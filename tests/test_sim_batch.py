@@ -1,0 +1,247 @@
+"""Tests for the vectorized day-simulation engine and its consumers.
+
+Cross-engine equality lives in tests/test_engine_parity.py; this module
+covers the batch engine's own semantics: CRN timetable fleets, result
+accounting, validation, the sleep-policy comparison in repro.energy, and the
+sim-grid experiment.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.corridor.layout import CorridorLayout
+from repro.energy.analysis import simulated_policy_comparison
+from repro.energy.duty import EnergyParams
+from repro.energy.scenario import OperatingMode, segment_energy
+from repro.errors import ConfigurationError
+from repro.experiments.simgrid import run_sim_grid
+from repro.simulation.batch import simulate_days
+from repro.simulation.elements import ElementSpec, corridor_elements
+from repro.traffic.timetable import Timetable, TrainRun, day_timetables, generate_timetable
+from repro.traffic.trains import TrafficParams
+
+LAYOUT = CorridorLayout.with_uniform_repeaters(2400.0, 8)
+
+
+class TestElementSpecs:
+    def test_element_roster_matches_layout(self):
+        specs = corridor_elements(LAYOUT, OperatingMode.SLEEP)
+        names = [s.name for s in specs]
+        assert names[0] == "hp/mast"
+        assert sum(n.startswith("service/") for n in names) == 8
+        assert sum(n.startswith("donor/") for n in names) == 2
+        assert specs[0].section_start_m == 0.0
+        assert specs[0].section_end_m == LAYOUT.isd_m
+
+    def test_continuous_mode_disables_lp_sleep(self):
+        specs = corridor_elements(LAYOUT, OperatingMode.CONTINUOUS)
+        by_kind = {s.kind: s for s in specs}
+        assert by_kind["hp"].sleep_capable
+        assert not by_kind["service"].sleep_capable
+        assert not by_kind["donor"].sleep_capable
+
+    def test_single_repeater_gets_one_donor(self):
+        layout = CorridorLayout.with_uniform_repeaters(1250.0, 1)
+        kinds = [s.kind for s in corridor_elements(layout)]
+        assert kinds.count("donor") == 1
+
+    def test_bad_power_ordering_rejected(self):
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError):
+            ElementSpec("x", "hp", full_load_w=1.0, no_load_w=2.0, sleep_w=3.0,
+                        sleep_capable=True, section_start_m=0.0,
+                        section_end_m=10.0)
+
+    def test_inverted_section_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ElementSpec("x", "hp", full_load_w=3.0, no_load_w=2.0, sleep_w=1.0,
+                        sleep_capable=True, section_start_m=10.0,
+                        section_end_m=10.0)
+
+
+class TestDayTimetables:
+    def test_crn_convention_is_pure_function_of_seed_and_index(self):
+        fleet_a = day_timetables(realizations=3, seed=5)
+        fleet_b = day_timetables(realizations=5, seed=5)
+        for a, b in zip(fleet_a, fleet_b):
+            assert [r.t0_s for r in a] == [r.t0_s for r in b]
+
+    def test_distinct_seeds_distinct_days(self):
+        a, = day_timetables(realizations=1, seed=0)
+        b, = day_timetables(realizations=1, seed=1)
+        assert [r.t0_s for r in a] != [r.t0_s for r in b]
+
+    def test_rejects_zero_realizations(self):
+        with pytest.raises(ConfigurationError):
+            day_timetables(realizations=0)
+
+
+class TestSimulateDays:
+    def test_deterministic_matches_analytic(self):
+        result = simulate_days(LAYOUT, mode=OperatingMode.SLEEP)
+        analytic = segment_energy(LAYOUT, OperatingMode.SLEEP).w_per_km
+        assert result.avg_w_per_km[0] == pytest.approx(analytic, rel=0.02)
+
+    def test_active_seconds_reproduce_duty_cycle(self):
+        # The deterministic timetable reproduces the analytic duty cycle of
+        # every element section exactly (the Table III cross-check).
+        from repro.traffic.occupancy import occupancy_seconds_per_day
+
+        result = simulate_days(LAYOUT, mode=OperatingMode.SLEEP)
+        specs = corridor_elements(LAYOUT, OperatingMode.SLEEP)
+        for e, spec in enumerate(specs):
+            expected = occupancy_seconds_per_day(
+                spec.section_end_m - spec.section_start_m)
+            assert result.active_s[0, e] == pytest.approx(expected, rel=1e-9)
+
+    def test_solar_mains_counts_only_hp(self):
+        result = simulate_days(LAYOUT, mode=OperatingMode.SOLAR)
+        assert np.array_equal(result.total_mains_wh, result.hp_wh)
+        assert result.service_wh[0] > 0.0
+
+    def test_empty_timetable_everything_sleeps(self):
+        layout = CorridorLayout.with_uniform_repeaters(1250.0, 1)
+        params = EnergyParams(traffic=TrafficParams(trains_per_hour=0.0))
+        result = simulate_days(layout, params=params)
+        assert np.all(result.active_s == 0.0)
+        assert np.all(result.awake_s == 0.0)
+        expected = (224.0 + 2 * 4.72) * 24.0
+        assert result.total_mains_wh[0] == pytest.approx(expected, rel=1e-6)
+
+    def test_result_arrays_read_only(self):
+        result = simulate_days(LAYOUT)
+        with pytest.raises(ValueError):
+            result.energy_wh[0, 0] = 0.0
+
+    def test_fleet_statistics(self):
+        result = simulate_days(LAYOUT, stochastic=True, realizations=8, seed=2)
+        assert result.realizations == 8
+        low, high = result.ci95_w_per_km()
+        assert low < result.mean_w_per_km() < high
+        assert result.std_w_per_km() > 0.0
+
+    def test_single_realization_has_zero_std(self):
+        result = simulate_days(LAYOUT)
+        assert result.std_w_per_km() == 0.0
+        low, high = result.ci95_w_per_km()
+        assert low == high == result.mean_w_per_km()
+
+    def test_slower_transition_costs_energy(self):
+        fast = simulate_days(LAYOUT, transition_s=0.0, wake_lead_m=0.0)
+        slow = simulate_days(LAYOUT, transition_s=5.0, wake_lead_m=300.0)
+        assert slow.total_mains_wh[0] > fast.total_mains_wh[0]
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ConfigurationError):
+            simulate_days(LAYOUT, engine="gpu")
+
+    def test_rejects_negative_transition_and_lead(self):
+        with pytest.raises(ConfigurationError):
+            simulate_days(LAYOUT, transition_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            simulate_days(LAYOUT, wake_lead_m=-1.0)
+
+    def test_rejects_mismatched_horizons(self):
+        mixed = (generate_timetable(days=1.0), generate_timetable(days=2.0))
+        with pytest.raises(ConfigurationError):
+            simulate_days(LAYOUT, timetables=mixed)
+
+    def test_rejects_conflicting_realizations(self):
+        tts = (generate_timetable(),)
+        with pytest.raises(ConfigurationError):
+            simulate_days(LAYOUT, timetables=tts, realizations=3)
+
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ConfigurationError):
+            simulate_days(LAYOUT, timetables=())
+
+    def test_run_entirely_before_horizon_boundary(self):
+        # A run whose section entry lies beyond the horizon: the barrier
+        # still wakes the element, which then idles to the end of the day.
+        tt = Timetable(runs=(TrainRun(t0_s=3599.0),), horizon_s=3600.0)
+        result = simulate_days(LAYOUT, timetables=(tt,))
+        hp = result.element_names.index("hp/mast")
+        assert result.active_s[0, hp] == pytest.approx(1.0, abs=1e-6)
+
+
+class TestPolicyComparison:
+    def test_policies_share_common_random_days(self):
+        comparison = simulated_policy_comparison(LAYOUT, realizations=5, seed=3)
+        assert set(comparison) == set(OperatingMode)
+        sleep = comparison[OperatingMode.SLEEP]
+        cont = comparison[OperatingMode.CONTINUOUS]
+        assert sleep.mean_w_per_km < cont.mean_w_per_km
+        assert comparison[OperatingMode.SOLAR].mean_w_per_km < sleep.mean_w_per_km
+        for policy in comparison.values():
+            assert policy.realizations == 5
+            assert abs(policy.simulated_minus_analytic_pct) < 5.0
+            assert policy.ci95_w_per_km[0] <= policy.mean_w_per_km \
+                <= policy.ci95_w_per_km[1]
+
+    def test_deterministic_mode_matches_analytic_tightly(self):
+        comparison = simulated_policy_comparison(LAYOUT, realizations=1,
+                                                 stochastic=False)
+        for policy in comparison.values():
+            assert policy.mean_w_per_km == pytest.approx(
+                policy.analytic_w_per_km, rel=0.02)
+
+
+class TestSimGridExperiment:
+    def test_grid_shape_and_feasibility(self):
+        result = run_sim_grid(headways=(450.0, 900.0), trains_per_day=(76.0, 152.0),
+                              realizations=3, seed=0)
+        assert len(result.rows) == 2 * 2 * 3
+        infeasible = [r for r in result.rows if not r.feasible]
+        # 152 trains at 900 s needs 38 service hours — unschedulable.
+        assert {(r.headway_s, r.trains_per_day) for r in infeasible} \
+            == {(900.0, 152.0)}
+        for row in result.rows:
+            if row.feasible:
+                assert row.mean_w_per_km == pytest.approx(
+                    row.analytic_w_per_km, rel=0.05)
+                assert row.realizations == 3
+            else:
+                assert math.isnan(row.analytic_w_per_km)
+
+    def test_series_and_table_cover_all_rows(self):
+        result = run_sim_grid(headways=(450.0,), trains_per_day=(152.0,),
+                              realizations=2)
+        series = result.series()
+        assert len(series["mode"]) == 3
+        assert "sim-grid" in result.table()
+
+    def test_engines_agree_cell_for_cell(self):
+        kwargs = dict(headways=(450.0,), trains_per_day=(152.0,),
+                      realizations=2, seed=4)
+        batch = run_sim_grid(engine="batch", **kwargs)
+        event = run_sim_grid(engine="event", **kwargs)
+        for b, e in zip(batch.rows, event.rows):
+            assert b.mean_w_per_km == pytest.approx(e.mean_w_per_km, rel=1e-9)
+            assert b.std_w_per_km == pytest.approx(e.std_w_per_km, rel=1e-6)
+
+    def test_rejects_bad_axes(self):
+        with pytest.raises(ConfigurationError):
+            run_sim_grid(headways=())
+        with pytest.raises(ConfigurationError):
+            run_sim_grid(trains_per_day=(0.0,))
+        with pytest.raises(ConfigurationError):
+            run_sim_grid(realizations=0)
+
+
+class TestCorridorSimulationRouting:
+    def test_default_routes_through_batch_engine(self):
+        sim = __import__("repro.simulation.corridor_sim",
+                         fromlist=["CorridorSimulation"])
+        result = sim.CorridorSimulation(LAYOUT).run()
+        assert result.events_processed == 0  # no event queue in batch mode
+
+    def test_event_engine_escape_hatch(self):
+        sim = __import__("repro.simulation.corridor_sim",
+                         fromlist=["CorridorSimulation"])
+        batch = sim.CorridorSimulation(LAYOUT).run()
+        event = sim.CorridorSimulation(LAYOUT).run(engine="event")
+        assert event.events_processed > 1000
+        assert batch.total_mains_wh == pytest.approx(event.total_mains_wh,
+                                                     rel=1e-9)

@@ -108,6 +108,52 @@ class TestSimulator:
         with pytest.raises(SimulationError):
             sim.run(until=1e9, max_events=1000)
 
+    def test_processed_counts_fired_callbacks_only(self):
+        # Lazily-cancelled events are discarded without firing and must not
+        # count toward `processed`.
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b")).cancel()
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "c"]
+        assert sim.processed == 2
+
+    def test_processed_excludes_same_time_mid_run_cancel(self):
+        # A callback cancelling a later event scheduled at the same instant:
+        # the victim is skipped at the queue head and never counted.
+        sim = Simulator()
+        fired = []
+        victim = sim.schedule(1.0, lambda: fired.append("victim"))
+        sim.schedule(0.5, victim.cancel)
+        sim.schedule(1.0, lambda: fired.append("survivor"))
+        sim.run()
+        assert fired == ["survivor"]
+        assert sim.processed == 2  # the canceller and the survivor
+
+    def test_cancelled_event_beyond_until_stays_pending(self):
+        # run(until=...) must not reach past its horizon, not even to discard
+        # dead events — they are cleaned up lazily by a later run.
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        late = sim.schedule(100.0, lambda: None)
+        late.cancel()
+        sim.run(until=50.0)
+        assert sim.processed == 1
+        assert sim.pending == 1
+        sim.run()
+        assert sim.processed == 1
+        assert sim.pending == 0
+
+    def test_step_skips_cancelled_without_counting(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None).cancel()
+        sim.schedule(2.0, lambda: None)
+        assert sim.step() is True
+        assert sim.processed == 1
+        assert sim.now == 2.0
+
 
 class TestRecorder:
     def test_constant_power_integration(self):

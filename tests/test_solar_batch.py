@@ -88,19 +88,9 @@ class TestWeatherTensor:
 
 
 class TestBatchBitIdentity:
-    @pytest.mark.parametrize("key", ALL_LOCATIONS)
-    @pytest.mark.parametrize("seed,start", [(2022, 274), (7, 1), (13, 100)])
-    def test_every_field_matches_scalar(self, key, seed, start):
-        systems = [
-            OffGridSystem(LOCATIONS[key], pv=PvArray(peak_w=pv),
-                          battery=Battery(capacity_wh=wh), seed=seed)
-            for pv, wh in ((360.0, 720.0), (540.0, 720.0), (600.0, 1440.0))
-        ]
-        batched = simulate_systems(systems, start_day_of_year=start,
-                                   weather_cache=WeatherCache())
-        for system, result in zip(systems, batched):
-            assert_results_equal(result,
-                                 system.simulate_year(start_day_of_year=start))
+    # The per-location scalar-vs-batched field equality (seed sweep) lives in
+    # tests/test_engine_parity.py; this class keeps the heterogeneous-batch
+    # and error behaviours.
 
     def test_mixed_locations_seeds_and_loads_in_one_batch(self):
         heavy = LoadProfile(hourly_w=(20.0,) * 24)

@@ -1,5 +1,7 @@
 """Tests for the train traffic substrate: trains, timetables, occupancy."""
 
+import math
+
 import pytest
 from hypothesis import given, strategies as st
 
@@ -11,7 +13,12 @@ from repro.traffic.occupancy import (
     occupancy_seconds_per_day,
     trains_per_day,
 )
-from repro.traffic.timetable import Timetable, TrainRun, generate_timetable
+from repro.traffic.timetable import (
+    Timetable,
+    TrainRun,
+    day_timetables,
+    generate_timetable,
+)
 from repro.traffic.trains import TrafficParams, Train
 
 
@@ -144,6 +151,68 @@ class TestTimetable:
     def test_unsorted_runs_rejected(self):
         with pytest.raises(ConfigurationError):
             Timetable(runs=(TrainRun(t0_s=100.0), TrainRun(t0_s=50.0)))
+
+
+class TestTimetableProperties:
+    """Seeded property tests of the stochastic/deterministic generators."""
+
+    SEEDS = (0, 1, 2, 3, 4)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_poisson_headway_mean_in_ci(self, seed):
+        # Within one service window the gaps are iid Exponential(headway_s);
+        # over 30 days the sample mean must land inside a z=3.9 CLT interval
+        # around 1/rate (exponential sigma == mean).
+        params = TrafficParams()
+        tt = generate_timetable(params, stochastic=True, seed=seed, days=30)
+        starts = [r.t0_s for r in tt]
+        gaps = [b - a for a, b in zip(starts, starts[1:])
+                if int(a // 86400.0) == int(b // 86400.0)]
+        mean = sum(gaps) / len(gaps)
+        half = 3.9 * params.headway_s / math.sqrt(len(gaps))
+        assert abs(mean - params.headway_s) <= half, (mean, half)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_direction_balance_wilson(self, seed):
+        # Directions are fair coin flips: 0.5 must lie in the Wilson 99.99%
+        # interval of the up-direction proportion.
+        from repro.optimize.mc import wilson_interval
+
+        tt = generate_timetable(stochastic=True, seed=seed, days=30)
+        ups = sum(r.direction == 1 for r in tt)
+        low, high = wilson_interval(ups, len(tt), z=3.9)
+        assert low <= 0.5 <= high, (ups, len(tt))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("days", (1, 3))
+    def test_no_run_outside_horizon(self, seed, days):
+        tt = generate_timetable(stochastic=True, seed=seed, days=days)
+        assert all(0.0 <= r.t0_s < days * 86400.0 for r in tt)
+        assert all(a.t0_s <= b.t0_s for a, b in zip(tt, list(tt)[1:]))
+
+    @pytest.mark.parametrize("section_m", (200.0, 500.0, 2400.0))
+    def test_deterministic_reproduces_duty_cycle_exactly(self, section_m):
+        # Every deterministic run contributes (section + train)/speed busy
+        # seconds, so the timetable's total occupancy over a section equals
+        # the analytic duty cycle exactly.
+        from repro.traffic.occupancy import duty_cycle
+
+        params = TrafficParams()
+        tt = generate_timetable(params)
+        per_train = params.train.occupancy_seconds(section_m)
+        total = len(tt) * per_train
+        assert total / 86400.0 == pytest.approx(duty_cycle(section_m),
+                                                rel=1e-12)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_crn_fleet_prefix_property(self, seed):
+        # day_timetables realizations are pure functions of (seed, r): a
+        # bigger fleet is an extension, never a reshuffle.
+        small = day_timetables(realizations=2, seed=seed)
+        big = day_timetables(realizations=4, seed=seed)
+        for a, b in zip(small, big):
+            assert [r.t0_s for r in a] == [r.t0_s for r in b]
+            assert [r.direction for r in a] == [r.direction for r in b]
 
 
 class TestTrainRun:

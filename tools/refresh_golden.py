@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Regenerate the golden-regression snapshots under tests/golden/.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python tools/refresh_golden.py            # refresh all
+    PYTHONPATH=src python tools/refresh_golden.py --only fig4
+    PYTHONPATH=src python tools/refresh_golden.py --check    # diff, no write
+
+``--check`` exits non-zero when any current run drifts from its snapshot —
+the same comparison ``tests/test_golden_regression.py`` runs in CI.  Refresh
+snapshots only for *intended* result changes, and say why in the commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.reporting.golden import (  # noqa: E402  (path bootstrap above)
+    GOLDEN_SPECS,
+    compare_series,
+    compute_series,
+    load_snapshot,
+    save_snapshot,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "tests" / "golden"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--only", metavar="ID", action="append", default=None,
+                        help="refresh only this experiment id (repeatable)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against existing snapshots, write nothing")
+    parser.add_argument("--dir", default=GOLDEN_DIR, type=Path,
+                        help=f"snapshot directory (default {GOLDEN_DIR})")
+    args = parser.parse_args(argv)
+
+    specs = [s for s in GOLDEN_SPECS
+             if args.only is None or s.experiment_id in args.only]
+    if args.only:
+        known = {s.experiment_id for s in GOLDEN_SPECS}
+        unknown = set(args.only) - known
+        if unknown:
+            parser.error(f"unknown experiment id(s) {sorted(unknown)}; "
+                         f"golden set: {sorted(known)}")
+
+    drifted = 0
+    for spec in specs:
+        if args.check:
+            problems = compare_series(spec, compute_series(spec),
+                                      load_snapshot(spec, args.dir))
+            status = "ok" if not problems else "DRIFTED"
+            print(f"[{status}] {spec.experiment_id}")
+            for problem in problems:
+                print(f"    {problem}")
+            drifted += bool(problems)
+        else:
+            path = save_snapshot(spec, args.dir)
+            print(f"[written] {path}")
+    return 1 if drifted else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
