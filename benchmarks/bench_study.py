@@ -1,0 +1,79 @@
+"""Inline vs. process-pool study execution — the PR-acceptance benchmark.
+
+A 2-axis declarative study (ISD x trains/day through the day-simulation
+engine, a fleet of seeded Poisson days per cell) runs twice through
+:func:`repro.study.runner.run_study`: inline (``jobs=1``) and sharded across
+a process pool (``jobs=4``).
+
+Asserts (a) the merged tidy tables are **bit-identical** — the CRN seeding
+contract makes results independent of the shard layout and job count — and
+(b) a >= 2x wall-time speedup for the pooled run.  The speedup gate needs
+real parallel hardware, so it is enforced only when the machine has >= 4
+CPUs and skipped (with the parity assertions still run) on smaller boxes
+and shared CI runners.
+"""
+
+import os
+import time
+
+from repro.study import parse_study, run_study
+
+JOBS = 4
+THRESHOLD = 2.0
+
+STUDY_TEXT = """
+name: bench-study
+engine: sim
+seed: 0
+axes:
+  isd_m: [1800.0, 2100.0, 2400.0, 2700.0]
+  trains_per_day: [76.0, 152.0]
+fixed:
+  n_repeaters: 8
+  headway_s: 450.0
+  policy: sleep
+  realizations: 250
+derived:
+  bias_pct: 100 * (mean_w_per_km / analytic_w_per_km - 1)
+"""
+
+
+def bench_study_parallel_speedup(benchmark, bench_json):
+    spec = parse_study(STUDY_TEXT)
+    assert spec.case_count == 8
+
+    t0 = time.perf_counter()
+    inline = run_study(spec, jobs=1, shards=8)
+    inline_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    pooled = benchmark.pedantic(
+        lambda: run_study(spec, jobs=JOBS, shards=8),
+        rounds=1, iterations=1)
+    pooled_s = time.perf_counter() - t0
+
+    # Shard/job-count invariance (the PR acceptance criterion): the pooled
+    # run's merged tidy table is bit-identical to the inline run's.
+    assert pooled.table.long() == inline.table.long()
+    assert pooled.jobs == JOBS and not pooled.partial
+
+    speedup = inline_s / pooled_s
+    cpus = os.cpu_count() or 1
+    bench_json("study", {
+        "grid": {"cases": spec.case_count, "engine": spec.engine,
+                 "realizations": 250, "jobs": JOBS, "shards": 8},
+        "inline_s": inline_s,
+        "pooled_s": pooled_s,
+        "speedup": speedup,
+        "cpus": cpus,
+        "threshold": THRESHOLD,
+    })
+    # Shared CI runners have noisy neighbours and unstable clocks, so the
+    # timing threshold is advisory there (the parity assertion always holds);
+    # likewise a <4-CPU box cannot demonstrate a 2x pool speedup at all.
+    if os.environ.get("CI") or cpus < JOBS:
+        print(f"study pool speedup: {speedup:.1f}x on {cpus} CPUs "
+              "(threshold not enforced)")
+    else:
+        assert speedup >= THRESHOLD, \
+            f"process-pool study run only {speedup:.1f}x faster"

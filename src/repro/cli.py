@@ -8,6 +8,13 @@ Examples::
     repro all --csv out/        # run everything
     repro maxisd --jobs 4       # shard sweep evaluation across threads
     repro all --cache-dir .cache  # persist Eq. (2) profiles across runs
+
+    repro study list                                  # shipped study files
+    repro study run studies/sim_grid.yaml --jobs 4    # declarative sweep
+    repro study resume studies/sim_grid.yaml --store .study  # pick up shards
+
+    repro docs build --strict   # build the documentation site from source
+    repro docs api --check      # verify the generated API reference is fresh
 """
 
 from __future__ import annotations
@@ -20,7 +27,7 @@ from repro.experiments.runner import ALL_EXPERIMENTS, run_all, run_experiment
 from repro.scenario.cache import ProfileCache
 from repro.solar.batch import WeatherCache
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "study_main", "docs_main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -31,7 +38,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'repro list'), 'all', or 'list'",
+        help="experiment id (see 'repro list'), 'all', or 'list'; "
+             "'repro study ...' runs declarative YAML/TOML studies and "
+             "'repro docs ...' builds the documentation site",
     )
     parser.add_argument(
         "--csv",
@@ -49,7 +58,9 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         metavar="N",
         default=None,
-        help="shard batched scenario evaluation across N threads",
+        help="shard batched scenario evaluation across N threads; for the "
+             "study-routed grids (sim-grid, robustness-grid) N worker "
+             "processes of the study runner",
     )
     parser.add_argument(
         "--cache-dir",
@@ -158,7 +169,138 @@ def _engine_kwargs(args: argparse.Namespace) -> dict:
     return kwargs
 
 
+# -- declarative studies ------------------------------------------------------
+
+
+def build_study_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro study",
+        description="Run declarative YAML/TOML studies through the sharded "
+                    "study runner (see docs/studies.md for the schema)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser(
+        "run", help="run a study file end to end")
+    resume_parser = sub.add_parser(
+        "resume", help="continue a partially run study from its store")
+    for p in (run_parser, resume_parser):
+        p.add_argument("study_file", help="path to the .yaml/.yml/.toml study")
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (default: run inline)")
+        p.add_argument("--shards", type=int, default=None, metavar="K",
+                       help="contiguous case chunks (default: min(cases, 16); "
+                            "a resume must reuse the layout that filled the "
+                            "store)")
+        p.add_argument("--store", metavar="DIR", default=None,
+                       help="persist completed shards to DIR and reuse them "
+                            "on later runs (resume)")
+        p.add_argument("--max-shards", type=int, default=None, metavar="K",
+                       help="stop after computing K new shards (partial run; "
+                            "resume later with the same --store)")
+        p.add_argument("--csv", metavar="FILE", default=None,
+                       help="write the merged results table as CSV")
+        p.add_argument("--layout", choices=("long", "wide"), default="long",
+                       help="CSV layout: tidy long format (default) or one "
+                            "row per case")
+        p.add_argument("--json", metavar="FILE", default=None,
+                       help="write the merged results as a JSON document")
+        p.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="persist Eq. (2) profiles / weather years under "
+                            "DIR, shared by worker processes")
+        p.add_argument("--quiet", action="store_true",
+                       help="suppress the results preview table")
+    resume_parser.set_defaults(resume=True)
+    run_parser.set_defaults(resume=False)
+
+    list_parser = sub.add_parser("list", help="list study files")
+    list_parser.add_argument("directory", nargs="?", default="studies",
+                             help="directory to scan (default: studies/)")
+    return parser
+
+
+def study_main(argv: list[str]) -> int:
+    """Entry point of the ``repro study`` subcommands."""
+    from repro.errors import ReproError
+    from repro.study import StudyStore, load_study, run_study
+
+    args = build_study_parser().parse_args(argv)
+
+    if args.command == "list":
+        directory = Path(args.directory)
+        files = sorted(list(directory.glob("*.yaml"))
+                       + list(directory.glob("*.yml"))
+                       + list(directory.glob("*.toml")))
+        if not files:
+            print(f"no study files under {directory}/", file=sys.stderr)
+            return 1
+        for path in files:
+            try:
+                spec = load_study(path)
+            except ReproError as exc:
+                print(f"{path}  [invalid: {exc}]")
+                continue
+            print(f"{path}  {spec.engine} engine, {spec.case_count} cases"
+                  f"{' — ' + spec.description if spec.description else ''}")
+        return 0
+
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    if args.resume and args.store is None:
+        raise SystemExit("repro study resume needs --store DIR (the store "
+                         "the interrupted run was writing to)")
+    try:
+        spec = load_study(args.study_file)
+    except (ReproError, OSError) as exc:
+        print(f"cannot load study {args.study_file!r}: {exc}", file=sys.stderr)
+        return 2
+
+    store = None
+    if args.store is not None:
+        store = StudyStore(maxsize=1024, cache_dir=args.store)
+
+    def progress(done: int, total: int, label: str) -> None:
+        if not args.quiet:
+            print(f"[{done}/{total}] {label}", file=sys.stderr)
+
+    context = {}
+    if args.cache_dir is not None:
+        context["cache_dir"] = args.cache_dir
+    try:
+        report = run_study(spec, jobs=args.jobs, shards=args.shards,
+                           store=store, progress=progress,
+                           max_shards=args.max_shards, context=context)
+    except ReproError as exc:
+        print(f"study failed: {exc}", file=sys.stderr)
+        return 1
+
+    if not args.quiet:
+        print(report.table.table())
+        print(report.summary(), file=sys.stderr)
+    if args.csv is not None:
+        report.table.write_csv(args.csv, layout=args.layout)
+    if args.json is not None:
+        report.table.write_json(args.json)
+    return 3 if report.partial else 0
+
+
+# -- documentation ------------------------------------------------------------
+
+
+def docs_main(argv: list[str]) -> int:
+    """Entry point of the ``repro docs`` subcommands (build / api)."""
+    from repro.docs.cli import docs_command
+
+    return docs_command(argv)
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv[:1] == ["study"]:
+        return study_main(list(argv[1:]))
+    if argv[:1] == ["docs"]:
+        return docs_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
 
     if args.experiment == "list":

@@ -1,0 +1,88 @@
+"""``repro docs`` subcommands: build the site, manage the API reference."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+__all__ = ["docs_command", "build_docs_parser"]
+
+
+def _default_config() -> Path:
+    """The repository's mkdocs.yml (relative to this source checkout)."""
+    return Path(__file__).resolve().parents[3] / "mkdocs.yml"
+
+
+def build_docs_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro docs",
+        description="Build the documentation site from source (no MkDocs "
+                    "required) and keep the generated API reference fresh",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="render the site and run the checks")
+    build.add_argument("--config", metavar="FILE", default=None,
+                       help="mkdocs.yml path (default: the repository root)")
+    build.add_argument("--output", metavar="DIR", default=None,
+                       help="write the HTML tree to DIR (default: validate "
+                            "only)")
+    build.add_argument("--strict", action="store_true",
+                       help="fail on missing nav targets, orphan pages, "
+                            "broken links/anchors or a stale API reference")
+    build.add_argument("--no-api-check", action="store_true",
+                       help="skip the generated-API freshness check")
+
+    api = sub.add_parser("api", help="regenerate or verify docs/api/*.md")
+    api.add_argument("--config", metavar="FILE", default=None,
+                     help="mkdocs.yml path (default: the repository root)")
+    api.add_argument("--check", action="store_true",
+                     help="verify the committed pages match the live "
+                          "docstrings instead of rewriting them")
+    return parser
+
+
+def docs_command(argv: list[str]) -> int:
+    """Entry point of ``repro docs ...``; returns a process exit code."""
+    from repro.docs import apigen, site
+
+    args = build_docs_parser().parse_args(argv)
+    config_path = Path(args.config) if args.config else _default_config()
+
+    if args.command == "api":
+        docs_dir = site.load_config(config_path).docs_dir
+        if args.check:
+            problems = apigen.check(docs_dir)
+            for problem in problems:
+                print(problem, file=sys.stderr)
+            if problems:
+                return 1
+            print(f"API reference in sync ({len(apigen.API_PAGES)} pages)")
+            return 0
+        written = apigen.generate(docs_dir)
+        for path in written:
+            print(f"wrote {path}")
+        return 0
+
+    try:
+        report = site.build_site(config_path, output_dir=args.output,
+                                 strict=args.strict,
+                                 check_api=not args.no_api_check)
+    except ConfigurationError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    for problem in report.problems:
+        print(f"warning: {problem}", file=sys.stderr)
+    where = f" -> {args.output}" if args.output else " (validate only)"
+    print(f"docs: {len(site.load_config(config_path).pages)} pages"
+          f"{where}; {report.internal_links} internal links checked, "
+          f"{report.external_links} external skipped"
+          + ("" if report.ok else f"; {len(report.problems)} problems"))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(docs_command(sys.argv[1:]))

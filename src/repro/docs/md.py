@@ -1,0 +1,272 @@
+"""Minimal Markdown renderer for the built-from-source docs site.
+
+The documentation builder (:mod:`repro.docs.site`) must work in offline
+environments where MkDocs is not installed, so this module implements the
+subset of GitHub-flavoured Markdown the ``docs/`` pages actually use:
+
+* ATX headings (``#`` .. ``######``) with GitHub-style anchor slugs,
+* fenced code blocks (``` with an optional language info string),
+* paragraphs, unordered/ordered lists (one nesting level), block quotes,
+  horizontal rules and pipe tables,
+* inline code spans, bold, emphasis, links and images.
+
+The same source tree also builds under real MkDocs (the CI docs job runs
+``mkdocs build --strict``); this renderer is the dependency-free fallback
+that keeps the strict checks runnable everywhere, including the test suite.
+"""
+
+from __future__ import annotations
+
+import html
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["RenderedPage", "render", "slugify"]
+
+_SLUG_STRIP = re.compile(r"[^\w\- ]", re.UNICODE)
+
+
+def slugify(text: str) -> str:
+    """GitHub-style anchor slug of a heading text.
+
+    Args:
+        text: The raw heading text (inline markup is stripped by the caller).
+
+    Returns:
+        Lower-case slug with spaces as dashes and punctuation removed.
+    """
+    text = re.sub(r"`([^`]*)`", r"\1", text)
+    text = re.sub(r"\*\*([^*]+)\*\*", r"\1", text)
+    text = re.sub(r"\*([^*]+)\*", r"\1", text)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    return _SLUG_STRIP.sub("", text.strip().lower()).replace(" ", "-")
+
+
+@dataclass
+class RenderedPage:
+    """Result of rendering one Markdown document."""
+
+    html: str
+    #: ``(level, text, slug)`` per heading, in document order.
+    headings: list = field(default_factory=list)
+    #: Raw link targets (href as written, before any resolution).
+    links: list = field(default_factory=list)
+
+    @property
+    def title(self) -> str:
+        """Text of the first top-level heading ('' when there is none)."""
+        for level, text, _ in self.headings:
+            if level == 1:
+                return text
+        return self.headings[0][1] if self.headings else ""
+
+    @property
+    def anchors(self) -> set:
+        """All anchor slugs the page defines."""
+        return {slug for _, _, slug in self.headings}
+
+
+_INLINE_CODE = re.compile(r"`([^`]+)`")
+_BOLD = re.compile(r"\*\*(.+?)\*\*")
+_EMPHASIS = re.compile(r"(?<!\*)\*([^*]+)\*(?!\*)")
+_IMAGE = re.compile(r"!\[([^\]]*)\]\(([^)\s]+)\)")
+_LINK = re.compile(r"\[([^\]]+)\]\(([^)\s]+)\)")
+_AUTO_LINK = re.compile(r"<(https?://[^>]+)>")
+
+
+def _render_inline(text: str, links: list) -> str:
+    """Inline markup -> HTML (code spans win over everything inside them)."""
+    parts = []
+    cursor = 0
+    for match in _INLINE_CODE.finditer(text):
+        parts.append(_render_spans(text[cursor:match.start()], links))
+        parts.append(f"<code>{html.escape(match.group(1))}</code>")
+        cursor = match.end()
+    parts.append(_render_spans(text[cursor:], links))
+    return "".join(parts)
+
+
+def _render_spans(text: str, links: list) -> str:
+    text = html.escape(text, quote=False)
+
+    def image(match: re.Match) -> str:
+        links.append(match.group(2))
+        return (f'<img src="{html.escape(match.group(2))}" '
+                f'alt="{html.escape(match.group(1))}">')
+
+    def link(match: re.Match) -> str:
+        links.append(match.group(2))
+        return (f'<a href="{html.escape(match.group(2))}">'
+                f"{match.group(1)}</a>")
+
+    def auto(match: re.Match) -> str:
+        links.append(match.group(1))
+        return (f'<a href="{html.escape(match.group(1))}">'
+                f"{html.escape(match.group(1))}</a>")
+
+    text = _IMAGE.sub(image, text)
+    text = _LINK.sub(link, text)
+    text = _AUTO_LINK.sub(auto, text)
+    text = _BOLD.sub(r"<strong>\1</strong>", text)
+    text = _EMPHASIS.sub(r"<em>\1</em>", text)
+    return text
+
+
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_FENCE = re.compile(r"^(```+|~~~+)\s*([\w+-]*)\s*$")
+_LIST_ITEM = re.compile(r"^(\s*)([-*+]|\d+[.)])\s+(.*)$")
+_TABLE_DIVIDER = re.compile(r"^\s*\|?\s*:?-+:?\s*(\|\s*:?-+:?\s*)+\|?\s*$")
+_HR = re.compile(r"^\s*((\*\s*){3,}|(-\s*){3,}|(_\s*){3,})$")
+
+
+def _table_cells(line: str) -> list:
+    cells = [c.strip() for c in line.strip().strip("|").split("|")]
+    return cells
+
+
+def render(text: str) -> RenderedPage:
+    """Render a Markdown document.
+
+    Args:
+        text: The Markdown source.
+
+    Returns:
+        The :class:`RenderedPage` with body HTML, the heading outline (used
+        for navigation titles and anchor validation) and every link target
+        (used by the strict link checker).
+    """
+    lines = text.split("\n")
+    out: list[str] = []
+    headings: list = []
+    links: list = []
+    slug_counts: dict[str, int] = {}
+    i = 0
+    n = len(lines)
+
+    def unique_slug(text_: str) -> str:
+        slug = slugify(text_)
+        count = slug_counts.get(slug, 0)
+        slug_counts[slug] = count + 1
+        return slug if count == 0 else f"{slug}-{count}"
+
+    while i < n:
+        line = lines[i]
+        stripped = line.strip()
+
+        if not stripped:
+            i += 1
+            continue
+
+        fence = _FENCE.match(stripped)
+        if fence:
+            marker, language = fence.group(1), fence.group(2)
+            body = []
+            i += 1
+            while i < n and not lines[i].strip().startswith(marker[:3]):
+                body.append(lines[i])
+                i += 1
+            i += 1  # closing fence
+            css = f' class="language-{language}"' if language else ""
+            out.append(f"<pre><code{css}>"
+                       f"{html.escape(chr(10).join(body))}</code></pre>")
+            continue
+
+        heading = _HEADING.match(line)
+        if heading:
+            level = len(heading.group(1))
+            text_ = heading.group(2)
+            slug = unique_slug(text_)
+            headings.append((level, re.sub(r"`([^`]*)`", r"\1", text_), slug))
+            out.append(f'<h{level} id="{slug}">'
+                       f"{_render_inline(text_, links)}</h{level}>")
+            i += 1
+            continue
+
+        if _HR.match(stripped):
+            out.append("<hr>")
+            i += 1
+            continue
+
+        if stripped.startswith(">"):
+            quote = []
+            while i < n and lines[i].strip().startswith(">"):
+                quote.append(lines[i].strip().lstrip(">").strip())
+                i += 1
+            out.append("<blockquote><p>"
+                       f"{_render_inline(' '.join(quote), links)}"
+                       "</p></blockquote>")
+            continue
+
+        item = _LIST_ITEM.match(line)
+        if item:
+            ordered = item.group(2)[0].isdigit()
+            tag = "ol" if ordered else "ul"
+            out.append(f"<{tag}>")
+            while i < n:
+                item = _LIST_ITEM.match(lines[i])
+                if item is None:
+                    break
+                indent = len(item.group(1))
+                content = [item.group(3)]
+                i += 1
+                # continuation lines / one nested level
+                nested: list[str] = []
+                while i < n and lines[i].strip():
+                    sub = _LIST_ITEM.match(lines[i])
+                    if sub and len(sub.group(1)) > indent:
+                        nested.append(sub.group(3))
+                        i += 1
+                        continue
+                    if sub or _HEADING.match(lines[i]) or _FENCE.match(
+                            lines[i].strip()):
+                        break
+                    content.append(lines[i].strip())
+                    i += 1
+                item_html = f"<li>{_render_inline(' '.join(content), links)}"
+                if nested:
+                    item_html += ("<ul>" + "".join(
+                        f"<li>{_render_inline(x, links)}</li>"
+                        for x in nested) + "</ul>")
+                out.append(item_html + "</li>")
+                if i < n and not lines[i].strip():
+                    next_i = i + 1
+                    if next_i < n and _LIST_ITEM.match(lines[next_i]):
+                        i = next_i
+                        continue
+                    break
+            out.append(f"</{tag}>")
+            continue
+
+        if ("|" in stripped and i + 1 < n
+                and _TABLE_DIVIDER.match(lines[i + 1] or "")):
+            header = _table_cells(stripped)
+            i += 2
+            rows = []
+            while i < n and "|" in lines[i] and lines[i].strip():
+                rows.append(_table_cells(lines[i]))
+                i += 1
+            out.append("<table><thead><tr>" + "".join(
+                f"<th>{_render_inline(c, links)}</th>" for c in header)
+                + "</tr></thead><tbody>")
+            for row in rows:
+                out.append("<tr>" + "".join(
+                    f"<td>{_render_inline(c, links)}</td>" for c in row)
+                    + "</tr>")
+            out.append("</tbody></table>")
+            continue
+
+        paragraph = [stripped]
+        i += 1
+        while i < n and lines[i].strip():
+            peek = lines[i]
+            if (_HEADING.match(peek) or _FENCE.match(peek.strip())
+                    or _LIST_ITEM.match(peek) or peek.strip().startswith(">")
+                    or _HR.match(peek.strip())):
+                break
+            if "|" in peek and i + 1 < n and _TABLE_DIVIDER.match(lines[i + 1]):
+                break
+            paragraph.append(peek.strip())
+            i += 1
+        out.append(f"<p>{_render_inline(' '.join(paragraph), links)}</p>")
+
+    return RenderedPage(html="\n".join(out), headings=headings, links=links)

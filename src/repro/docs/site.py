@@ -1,0 +1,275 @@
+"""Built-from-source documentation site builder with strict checks.
+
+Reads the same ``mkdocs.yml`` + ``docs/`` tree that real MkDocs builds (the
+CI docs job runs ``mkdocs build --strict`` against it), but depends only on
+PyYAML and the stdlib, so the site — and, more importantly, its *strict
+validation* — works offline and inside the test suite:
+
+* every nav entry must point at an existing page;
+* every Markdown file under ``docs/`` must be reachable from the nav
+  (orphans fail the build);
+* every relative link must resolve to a page in the tree, and every anchor
+  (``page.md#section``) must match a heading slug in the target page;
+* external ``http(s)`` links are counted but never fetched (no network);
+* the generated API reference must be in sync with the live docstrings
+  (:func:`repro.docs.apigen.check`).
+
+The emitted site is intentionally plain: one self-contained HTML file per
+page with a sidebar built from the nav — enough to read the docs from a
+checkout without installing anything.
+"""
+
+from __future__ import annotations
+
+import html
+import posixpath
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.docs.md import RenderedPage, render
+
+__all__ = ["SiteConfig", "BuildReport", "load_config", "build_site"]
+
+
+@dataclass(frozen=True)
+class SiteConfig:
+    """The subset of ``mkdocs.yml`` the fallback builder understands."""
+
+    site_name: str
+    docs_dir: Path
+    #: Flat page list: ``(title, relative path)`` in nav order.
+    pages: tuple[tuple[str, str], ...]
+    #: Nav sections: ``(section title or None, [(title, path), ...])``.
+    sections: tuple[tuple[str | None, tuple[tuple[str, str], ...]], ...]
+
+
+@dataclass
+class BuildReport:
+    """Outcome of one site build."""
+
+    pages_built: int = 0
+    internal_links: int = 0
+    external_links: int = 0
+    problems: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
+def _nav_entries(nav, source: str) -> list:
+    """Flatten a mkdocs nav list to ``(title, path-or-sublist)`` pairs."""
+    if not isinstance(nav, list):
+        raise ConfigurationError(f"{source}: 'nav' must be a list")
+    entries = []
+    for item in nav:
+        if isinstance(item, str):
+            entries.append((None, item))
+        elif isinstance(item, dict) and len(item) == 1:
+            title, value = next(iter(item.items()))
+            entries.append((str(title), value))
+        else:
+            raise ConfigurationError(
+                f"{source}: nav entries must be 'path' or 'Title: path' "
+                f"mappings, got {item!r}")
+    return entries
+
+
+def load_config(config_path: str | Path) -> SiteConfig:
+    """Parse ``mkdocs.yml`` into a :class:`SiteConfig`.
+
+    Args:
+        config_path: Path to the MkDocs configuration file.
+
+    Returns:
+        The parsed configuration (nav flattened, one section level deep —
+        the structure the shipped ``mkdocs.yml`` uses).
+
+    Raises:
+        ConfigurationError: On a missing file, unparseable YAML or a nav
+            structure deeper than one section level.
+    """
+    import yaml
+
+    config_path = Path(config_path)
+    if not config_path.exists():
+        raise ConfigurationError(f"no mkdocs config at {config_path}")
+    try:
+        document = yaml.safe_load(config_path.read_text())
+    except yaml.YAMLError as exc:
+        raise ConfigurationError(f"{config_path}: invalid YAML: {exc}") from None
+    if not isinstance(document, dict) or "nav" not in document:
+        raise ConfigurationError(f"{config_path}: needs 'nav' and 'site_name'")
+    docs_dir = config_path.parent / str(document.get("docs_dir", "docs"))
+
+    pages: list[tuple[str, str]] = []
+    sections: list = []
+    for title, value in _nav_entries(document["nav"], str(config_path)):
+        if isinstance(value, str):
+            entry = (title or value, value)
+            pages.append(entry)
+            sections.append((None, (entry,)))
+        else:
+            sub = []
+            for sub_title, sub_value in _nav_entries(value, str(config_path)):
+                if not isinstance(sub_value, str):
+                    raise ConfigurationError(
+                        f"{config_path}: nav nesting deeper than one section "
+                        f"is not supported by the fallback builder")
+                sub.append((sub_title or sub_value, sub_value))
+            pages.extend(sub)
+            sections.append((title, tuple(sub)))
+    return SiteConfig(site_name=str(document.get("site_name", "docs")),
+                      docs_dir=docs_dir, pages=tuple(pages),
+                      sections=tuple(sections))
+
+
+_STYLE = """
+body { margin: 0; font: 16px/1.6 system-ui, sans-serif; color: #1a2330; }
+.layout { display: flex; min-height: 100vh; }
+nav.sidebar { width: 16rem; flex: none; background: #f4f6f8;
+  border-right: 1px solid #d9dee3; padding: 1.5rem 1rem; }
+nav.sidebar h2 { font-size: 0.8rem; text-transform: uppercase;
+  letter-spacing: 0.06em; color: #5b6770; margin: 1.2rem 0 0.3rem; }
+nav.sidebar a { display: block; color: #1a4f8b; text-decoration: none;
+  padding: 0.15rem 0.4rem; border-radius: 4px; }
+nav.sidebar a.current { background: #dce8f5; font-weight: 600; }
+main { flex: 1; max-width: 52rem; padding: 2rem 3rem; }
+pre { background: #f4f6f8; border: 1px solid #d9dee3; border-radius: 6px;
+  padding: 0.8rem 1rem; overflow-x: auto; font-size: 0.88rem; }
+code { font-family: ui-monospace, monospace; background: #f4f6f8;
+  padding: 0.1rem 0.3rem; border-radius: 3px; font-size: 0.92em; }
+pre code { padding: 0; background: none; }
+table { border-collapse: collapse; margin: 1rem 0; }
+th, td { border: 1px solid #d9dee3; padding: 0.35rem 0.7rem; text-align: left; }
+th { background: #f4f6f8; }
+h1, h2, h3, h4 { line-height: 1.25; }
+blockquote { border-left: 4px solid #d9dee3; margin: 1rem 0;
+  padding: 0.2rem 1rem; color: #5b6770; }
+"""
+
+
+def _page_html(config: SiteConfig, rel_path: str, rendered: RenderedPage,
+               title: str) -> str:
+    depth = rel_path.count("/")
+    prefix = "../" * depth
+    nav_parts = []
+    for section, entries in config.sections:
+        if section is not None:
+            nav_parts.append(f"<h2>{html.escape(section)}</h2>")
+        for entry_title, entry_path in entries:
+            href = prefix + entry_path[:-3] + ".html"
+            css = ' class="current"' if entry_path == rel_path else ""
+            nav_parts.append(
+                f'<a{css} href="{html.escape(href)}">'
+                f"{html.escape(entry_title)}</a>")
+    return (
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+        "<meta charset=\"utf-8\">\n"
+        "<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n"
+        f"<title>{html.escape(title)} — {html.escape(config.site_name)}</title>\n"
+        f"<style>{_STYLE}</style>\n</head>\n<body>\n"
+        "<div class=\"layout\">\n"
+        f"<nav class=\"sidebar\"><h1>{html.escape(config.site_name)}</h1>\n"
+        + "\n".join(nav_parts)
+        + "\n</nav>\n<main>\n" + rendered.html + "\n</main>\n</div>\n"
+        "</body>\n</html>\n")
+
+
+def _check_links(rel_path: str, rendered: RenderedPage,
+                 renders: dict, report: BuildReport) -> None:
+    for target in rendered.links:
+        if target.startswith(("http://", "https://", "mailto:")):
+            report.external_links += 1
+            continue
+        report.internal_links += 1
+        if target.startswith("#"):
+            if target[1:] not in rendered.anchors:
+                report.problems.append(
+                    f"{rel_path}: broken anchor {target!r}")
+            continue
+        path_part, _, anchor = target.partition("#")
+        resolved = posixpath.normpath(
+            posixpath.join(posixpath.dirname(rel_path), path_part))
+        if resolved not in renders:
+            report.problems.append(
+                f"{rel_path}: broken link {target!r} "
+                f"(no page {resolved!r} in the nav)")
+            continue
+        if anchor and anchor not in renders[resolved].anchors:
+            report.problems.append(
+                f"{rel_path}: broken anchor {target!r} "
+                f"({resolved} has no heading #{anchor})")
+
+
+def build_site(config_path: str | Path,
+               output_dir: str | Path | None = None,
+               strict: bool = False,
+               check_api: bool = True) -> BuildReport:
+    """Build the documentation site and run the strict checks.
+
+    Args:
+        config_path: Path to ``mkdocs.yml``.
+        output_dir: Where to write the HTML tree (``None`` = validate only).
+        strict: Raise :class:`~repro.errors.ConfigurationError` on any
+            problem instead of returning it in the report.
+        check_api: Also verify the generated API reference is in sync with
+            the live docstrings (:func:`repro.docs.apigen.check`).
+
+    Returns:
+        The :class:`BuildReport` (problems listed when ``strict=False``).
+
+    Raises:
+        ConfigurationError: In strict mode, on the first validation failure
+            set (missing nav targets, orphan pages, broken links/anchors,
+            stale API pages).
+    """
+    config = load_config(config_path)
+    report = BuildReport()
+
+    nav_paths = [path for _, path in config.pages]
+    if len(set(nav_paths)) != len(nav_paths):
+        report.problems.append(f"nav lists a page twice: {nav_paths}")
+
+    renders: dict[str, RenderedPage] = {}
+    for _, rel_path in config.pages:
+        source = config.docs_dir / rel_path
+        if not source.exists():
+            report.problems.append(
+                f"nav entry {rel_path!r} does not exist under "
+                f"{config.docs_dir}")
+            continue
+        renders[rel_path] = render(source.read_text())
+
+    on_disk = {str(p.relative_to(config.docs_dir)).replace("\\", "/")
+               for p in config.docs_dir.rglob("*.md")}
+    for orphan in sorted(on_disk - set(nav_paths)):
+        report.problems.append(
+            f"page {orphan!r} exists under {config.docs_dir} but is not in "
+            f"the mkdocs.yml nav")
+
+    for rel_path, rendered in renders.items():
+        _check_links(rel_path, rendered, renders, report)
+
+    if check_api:
+        from repro.docs.apigen import check as api_check
+
+        report.problems.extend(api_check(config.docs_dir))
+
+    if output_dir is not None and (not report.problems or not strict):
+        output_dir = Path(output_dir)
+        for (title, rel_path) in config.pages:
+            rendered = renders.get(rel_path)
+            if rendered is None:
+                continue
+            target = output_dir / (rel_path[:-3] + ".html")
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(_page_html(config, rel_path, rendered,
+                                         rendered.title or title))
+            report.pages_built += 1
+
+    if strict and report.problems:
+        raise ConfigurationError(
+            "documentation build failed:\n  - " + "\n  - ".join(report.problems))
+    return report

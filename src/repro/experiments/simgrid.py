@@ -12,6 +12,11 @@ noise; the analytic duty-cycle figure anchors each cell.
 A (headway, trains/day) pair implies the service window: ``service_hours =
 trains_per_day * headway / 3600``.  Pairs that need more than 24 h are
 reported as infeasible (NaN) rows — demand that cannot be scheduled.
+
+The sweep itself is declarative: :func:`sim_grid_study_spec` builds the
+equivalent :class:`~repro.study.spec.StudySpec` and :func:`run_sim_grid`
+executes it through the sharded study runner (``studies/sim_grid.yaml``
+ships the file-based variant with an additional ISD axis).
 """
 
 from __future__ import annotations
@@ -21,15 +26,12 @@ from dataclasses import dataclass
 
 from repro import constants
 from repro.corridor.layout import CorridorLayout
-from repro.energy.duty import EnergyParams
-from repro.energy.scenario import OperatingMode, segment_energy
+from repro.energy.scenario import OperatingMode
 from repro.errors import ConfigurationError
 from repro.reporting.tables import format_table
-from repro.simulation.batch import simulate_days
-from repro.traffic.timetable import day_timetables
-from repro.traffic.trains import TrafficParams
 
-__all__ = ["SimGridRow", "SimGridResult", "run_sim_grid"]
+__all__ = ["SimGridRow", "SimGridResult", "run_sim_grid",
+           "sim_grid_study_spec"]
 
 
 @dataclass(frozen=True)
@@ -94,6 +96,53 @@ class SimGridResult:
                    f"{self.engine} engine, seed {self.seed}"))
 
 
+def sim_grid_study_spec(isd_m: float = 2400.0,
+                        n_repeaters: int = 8,
+                        headways=(300.0, 450.0, 900.0),
+                        trains_per_day=(76.0, 152.0),
+                        realizations: int = 25,
+                        seed: int = 0,
+                        transition_s: float = constants.SLEEP_TRANSITION_S,
+                        wake_lead_m: float = 50.0,
+                        engine: str = "batch"):
+    """The sim-grid sweep as a declarative :class:`~repro.study.spec.StudySpec`.
+
+    Args:
+        isd_m / n_repeaters: Corridor geometry of every cell.
+        headways: Mean headway axis [s].
+        trains_per_day: Demand axis.
+        realizations: Seeded Poisson timetable days per cell.
+        seed: Root seed, shared across cells (common random numbers).
+        transition_s / wake_lead_m: Sleep-transition parameters.
+        engine: ``"batch"`` (default) or the ``"event"`` scalar escape hatch.
+
+    Returns:
+        A ``sim``-engine spec with axes ``(headway_s, trains_per_day,
+        policy)`` — the exact cell order of :func:`run_sim_grid`.
+    """
+    from repro.study.spec import StudySpec
+
+    return StudySpec(
+        name="sim-grid",
+        engine="sim",
+        description="Monte-Carlo day simulation (headway x trains/day x policy)",
+        axes=(
+            ("headway_s", tuple(headways)),
+            ("trains_per_day", tuple(trains_per_day)),
+            ("policy", tuple(mode.value for mode in OperatingMode)),
+        ),
+        fixed=(
+            ("isd_m", float(isd_m)),
+            ("n_repeaters", int(n_repeaters)),
+            ("realizations", int(realizations)),
+            ("transition_s", float(transition_s)),
+            ("wake_lead_m", float(wake_lead_m)),
+            ("engine", engine),
+        ),
+        seed=seed,
+    )
+
+
 def run_sim_grid(isd_m: float = 2400.0,
                  n_repeaters: int = 8,
                  headways=(300.0, 450.0, 900.0),
@@ -102,8 +151,27 @@ def run_sim_grid(isd_m: float = 2400.0,
                  seed: int = 0,
                  transition_s: float = constants.SLEEP_TRANSITION_S,
                  wake_lead_m: float = 50.0,
-                 engine: str = "batch") -> SimGridResult:
-    """Sweep (headway x trains/day x policy) through the day engine."""
+                 engine: str = "batch",
+                 jobs: int = 1) -> SimGridResult:
+    """Sweep (headway x trains/day x policy) through the day engine.
+
+    Compiles to a declarative study (:func:`sim_grid_study_spec`) executed by
+    the sharded runner — ``jobs > 1`` evaluates cells on a process pool, with
+    results bit-identical to the inline run (the CRN contract of
+    :mod:`repro.study.runner`).  Cells whose demand cannot be scheduled
+    within 24 h come back as NaN rows.
+
+    Args:
+        jobs: Worker processes for the study runner (default inline).
+        engine: ``"batch"`` (default) or ``"event"`` — forwarded to
+            :func:`repro.simulation.batch.simulate_days` per cell.
+
+    Returns:
+        The :class:`SimGridResult` with one :class:`SimGridRow` per
+        (headway, trains/day, policy) cell.
+    """
+    from repro.study.runner import run_study
+
     if realizations < 1:
         raise ConfigurationError(
             f"realizations must be >= 1, got {realizations}")
@@ -112,41 +180,29 @@ def run_sim_grid(isd_m: float = 2400.0,
     if not trains_per_day or any(n <= 0 for n in trains_per_day):
         raise ConfigurationError(
             f"trains/day must be positive, got {trains_per_day}")
-    layout = CorridorLayout.with_uniform_repeaters(isd_m, n_repeaters)
+    CorridorLayout.with_uniform_repeaters(isd_m, n_repeaters)  # validate early
 
-    rows: list[SimGridRow] = []
-    nan = float("nan")
-    for headway in headways:
-        for tpd in trains_per_day:
-            service_hours = tpd * headway / 3600.0
-            feasible = service_hours <= 24.0
-            if feasible:
-                traffic = TrafficParams(trains_per_hour=3600.0 / headway,
-                                        night_quiet_hours=24.0 - service_hours)
-                params = EnergyParams(traffic=traffic)
-                timetables = day_timetables(traffic, realizations=realizations,
-                                            seed=seed, segment_length_m=isd_m)
-            for mode in OperatingMode:
-                if not feasible:
-                    rows.append(SimGridRow(
-                        headway_s=headway, trains_per_day=tpd,
-                        service_hours=service_hours, mode=mode,
-                        realizations=0, mean_w_per_km=nan, std_w_per_km=nan,
-                        ci95_low=nan, ci95_high=nan, analytic_w_per_km=nan))
-                    continue
-                sim = simulate_days(layout, mode=mode, params=params,
-                                    timetables=timetables,
-                                    transition_s=transition_s,
-                                    wake_lead_m=wake_lead_m, engine=engine)
-                ci_low, ci_high = sim.ci95_w_per_km()
-                rows.append(SimGridRow(
-                    headway_s=headway, trains_per_day=tpd,
-                    service_hours=service_hours, mode=mode,
-                    realizations=sim.realizations,
-                    mean_w_per_km=sim.mean_w_per_km(),
-                    std_w_per_km=sim.std_w_per_km(),
-                    ci95_low=ci_low, ci95_high=ci_high,
-                    analytic_w_per_km=segment_energy(layout, mode,
-                                                     params).w_per_km))
+    spec = sim_grid_study_spec(isd_m=isd_m, n_repeaters=n_repeaters,
+                               headways=headways,
+                               trains_per_day=trains_per_day,
+                               realizations=realizations, seed=seed,
+                               transition_s=transition_s,
+                               wake_lead_m=wake_lead_m, engine=engine)
+    table = run_study(spec, jobs=jobs).table
+    columns = table.wide()
+    rows = [
+        SimGridRow(
+            headway_s=columns["headway_s"][i],
+            trains_per_day=columns["trains_per_day"][i],
+            service_hours=columns["service_hours"][i],
+            mode=OperatingMode(columns["policy"][i]),
+            realizations=int(columns["realizations"][i]),
+            mean_w_per_km=columns["mean_w_per_km"][i],
+            std_w_per_km=columns["std_w_per_km"][i],
+            ci95_low=columns["ci95_low"][i],
+            ci95_high=columns["ci95_high"][i],
+            analytic_w_per_km=columns["analytic_w_per_km"][i])
+        for i in range(len(table))
+    ]
     return SimGridResult(isd_m=isd_m, n_repeaters=n_repeaters, rows=rows,
                          seed=seed, engine=engine)

@@ -17,7 +17,8 @@ from repro.solar.climates import LOCATIONS
 from repro.solar.offgrid import LoadProfile, OffGridResult
 from repro.solar.sizing import SizingResult, find_minimal_system
 
-__all__ = ["Table4Result", "run_table4", "Table4GridResult", "run_table4_grid"]
+__all__ = ["Table4Result", "run_table4", "Table4GridResult", "run_table4_grid",
+           "table4_grid_study_spec"]
 
 #: Location order as printed in the paper.
 LOCATION_ORDER = ("madrid", "lyon", "vienna", "berlin")
@@ -132,6 +133,40 @@ class Table4GridResult:
                         "(PV peak x battery) candidate grid")
 
 
+def table4_grid_study_spec(pv_peaks=None, battery_whs=None, seed: int = 2022):
+    """The Table IV candidate grid as a declarative study.
+
+    The ``solar`` study engine evaluates each (location, PV peak, battery)
+    case through the same batched :func:`repro.solar.batch.simulate_systems`
+    pass as :func:`run_table4_grid`; ``tests/test_study.py`` pins the study
+    table equal to the experiment's ``series()`` cell for cell.
+
+    Args:
+        pv_peaks / battery_whs: Candidate axes (defaults:
+            :data:`DEFAULT_PV_PEAKS_W` / :data:`DEFAULT_BATTERY_WHS`).
+        seed: Weather-year seed, shared by every case.
+
+    Returns:
+        A ``solar``-engine :class:`~repro.study.spec.StudySpec` with axes
+        ``(location, pv_peak_w, battery_wh)`` — the exact row order of
+        :meth:`Table4GridResult.series`.
+    """
+    from repro.study.spec import StudySpec
+
+    return StudySpec(
+        name="table4-grid",
+        engine="solar",
+        description="Off-grid candidate grid (PV peak x battery Wh), "
+                    "four regions",
+        axes=(
+            ("location", tuple(LOCATION_ORDER)),
+            ("pv_peak_w", tuple(float(v) for v in (pv_peaks or DEFAULT_PV_PEAKS_W))),
+            ("battery_wh", tuple(float(v) for v in (battery_whs or DEFAULT_BATTERY_WHS))),
+        ),
+        seed=seed,
+    )
+
+
 def run_table4_grid(pv_peaks=None, battery_whs=None,
                     load: LoadProfile | None = None, seed: int = 2022,
                     weather_cache=None) -> Table4GridResult:
@@ -140,6 +175,19 @@ def run_table4_grid(pv_peaks=None, battery_whs=None,
     The whole grid — every candidate at every location — is evaluated as one
     batched engine pass per location sharing four cached weather tensors,
     which is what makes sweeps far beyond the paper's 5-rung ladder cheap.
+    (:func:`table4_grid_study_spec` is the declarative equivalent, shipped
+    as ``studies/table4_grid.yaml``; it carries the scalar metric columns of
+    ``series()``, while this runner returns the full
+    :class:`~repro.solar.offgrid.OffGridResult` objects.)
+
+    Args:
+        pv_peaks / battery_whs: Candidate axes [Wp] / [Wh].
+        load: Optional load profile override (default: the repeater load).
+        seed: Weather-year seed shared by every candidate.
+        weather_cache: Optional :class:`~repro.solar.batch.WeatherCache`.
+
+    Returns:
+        The :class:`Table4GridResult` over the full candidate grid.
     """
     pv_peaks = tuple(float(v) for v in (pv_peaks or DEFAULT_PV_PEAKS_W))
     battery_whs = tuple(float(v) for v in (battery_whs or DEFAULT_BATTERY_WHS))

@@ -54,6 +54,12 @@ def readonly_array(values) -> np.ndarray:
     never mutated; already-frozen arrays pass through without a copy.  Shared
     by the result dataclasses that hold ndarray fields (:class:`OutageMatrix`,
     :class:`repro.optimize.robustness.OutageResult`).
+
+    Args:
+        values: Anything :func:`numpy.asarray` accepts.
+
+    Returns:
+        A float64 ndarray with ``writeable=False``.
     """
     arr = np.asarray(values, dtype=float)
     if arr.flags.writeable:
@@ -67,6 +73,16 @@ def trial_generators(seed: int, trials: int) -> list[np.random.Generator]:
 
     Trial ``t``'s stream is a pure function of ``(seed, t)``; candidates and
     repeated calls all see the same streams.
+
+    Args:
+        seed: Root seed of the trial family.
+        trials: Number of generators to derive.
+
+    Returns:
+        ``trials`` generators, one per trial, each seeded
+        ``default_rng([seed, t])`` — the convention shared with
+        :func:`repro.traffic.timetable.day_timetables` and the study layer's
+        :meth:`repro.study.spec.StudySpec.case_seed`.
     """
     return [np.random.default_rng([seed, t]) for t in range(trials)]
 
@@ -74,9 +90,21 @@ def trial_generators(seed: int, trials: int) -> list[np.random.Generator]:
 def wilson_interval(successes, trials: int, z: float = 1.959963984540054):
     """Wilson score interval for a binomial proportion (default 95%).
 
-    Vectorizes over ``successes``; returns ``(low, high)``.  Unlike the
-    normal-approximation interval it stays inside [0, 1] and behaves at
-    0 or ``trials`` successes, which outage counts routinely hit.
+    Vectorizes over ``successes``.  Unlike the normal-approximation interval
+    it stays inside [0, 1] and behaves at 0 or ``trials`` successes, which
+    outage counts routinely hit.
+
+    Args:
+        successes: Success counts (scalar or array).
+        trials: Number of Bernoulli trials (> 0).
+        z: Normal quantile (default: the two-sided 95% value).
+
+    Returns:
+        ``(low, high)`` bound arrays, clipped to [0, 1] and guaranteed to
+        bracket the point estimate.
+
+    Raises:
+        ConfigurationError: When ``trials`` is not positive.
     """
     if trials <= 0:
         raise ConfigurationError(f"trials must be positive, got {trials}")
@@ -264,7 +292,17 @@ def outage_matrix(profiles,
 
     Each profile sees the same per-trial shadowing streams (CRN), so
     cross-profile comparisons — outage-vs-ISD curves, bisection over the
-    feasibility boundary — are free of independent sampling noise.
+    feasibility boundary — are free of independent sampling noise.  The CRN
+    seeding also makes a candidate's column independent of which *other*
+    candidates share the call: evaluating profiles one by one or stacked
+    yields identical per-candidate results (the property the study layer's
+    sharding relies on).
+
+    Returns
+    -------
+    The :class:`OutageMatrix` holding the ``[candidate, trial]`` worst-case
+    shadowed SNRs, with outage probabilities, Wilson intervals and quantiles
+    derived lazily.
     """
     profiles = list(profiles)
     if not profiles:

@@ -242,6 +242,18 @@ def evaluate_scenarios(scenarios,
 def min_snr_batch(scenarios,
                   cache: ProfileCache | None = None,
                   jobs: int | None = None) -> np.ndarray:
-    """Worst-case SNR of each scenario (the sweep constraint), batched."""
+    """Worst-case SNR of each scenario (the sweep constraint), batched.
+
+    Args:
+        scenarios: Iterable of :class:`~repro.scenario.spec.Scenario`.
+        cache: Optional :class:`~repro.scenario.cache.ProfileCache`.
+        jobs: Optional thread-shard count (see :func:`evaluate_scenarios`).
+
+    Returns:
+        ``min(snr_db)`` per scenario, in input order — the quantity the
+        Section V feasibility criterion compares against 29 dB.  Values are
+        bit-identical to ``scenario.evaluate().min_snr_db`` (the scalar
+        reference path).
+    """
     return np.array([p.min_snr_db
                      for p in evaluate_scenarios(scenarios, cache=cache, jobs=jobs)])

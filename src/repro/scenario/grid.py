@@ -31,6 +31,15 @@ def isd_candidates(n_repeaters: int,
 
     Walks up in ``isd_step_m`` steps from the smallest geometry that fits the
     repeater field (identical to the seed ``max_isd_for_n`` candidate set).
+
+    Args:
+        n_repeaters: Repeater count the candidates must accommodate.
+        spacing_m: Repeater spacing [m].
+        isd_step_m: Sweep step [m] (default: the paper's 50 m).
+        isd_max_m: Upper bound of the candidate axis [m].
+
+    Returns:
+        Ascending candidate ISD array [m].
     """
     min_isd = spacing_m * max(0, n_repeaters - 1) + 2.0 * isd_step_m
     return np.arange(max(isd_step_m, min_isd), isd_max_m + isd_step_m / 2,

@@ -30,6 +30,19 @@ def content_token(obj) -> str:
     Recurses through dataclasses, enums, tuples/lists and numpy scalars;
     floats are rendered with ``float.hex`` so the token is exact (no rounding
     ambiguity between values that print alike).
+
+    Args:
+        obj: A dataclass instance, enum member, ``None``, bool/int/str,
+            float (or numpy floating), sequence of the above, or a numpy
+            array.
+
+    Returns:
+        A deterministic string — equal tokens imply equal parameter content
+        across processes and sessions (the hashing contract every cache in
+        the repository keys on).
+
+    Raises:
+        ConfigurationError: For types without a canonical rendering.
     """
     if is_dataclass(obj) and not isinstance(obj, type):
         inner = ",".join(
@@ -79,7 +92,18 @@ class Scenario:
                 spacing_m: float = constants.LP_NODE_SPACING_M,
                 link: LinkParams | None = None,
                 resolution_m: float = 1.0) -> "Scenario":
-        """The paper's geometry wrapped in a scenario."""
+        """The paper's geometry wrapped in a scenario.
+
+        Args:
+            isd_m: Inter-site distance of the two HP masts [m].
+            n_repeaters: Number of uniformly spaced LP repeater nodes.
+            spacing_m: Repeater spacing [m] (default: the paper's 200 m).
+            link: Link-budget parameters (paper defaults when ``None``).
+            resolution_m: Track position grid step [m].
+
+        Returns:
+            The frozen scenario for this uniform-repeater corridor.
+        """
         layout = CorridorLayout.with_uniform_repeaters(isd_m, n_repeaters, spacing_m)
         return cls(layout=layout, link=link or LinkParams(),
                    resolution_m=resolution_m)
@@ -99,6 +123,13 @@ class Scenario:
                          self.resolution_m)
 
     def evaluate(self) -> SnrProfile:
-        """Single-scenario evaluation via the reference Eq. (2) path."""
+        """Single-scenario evaluation via the reference Eq. (2) path.
+
+        Returns:
+            The scalar-path :class:`~repro.radio.link.SnrProfile` —
+            bit-identical to what the batch engine
+            (:func:`repro.radio.batch.evaluate_scenarios`) produces for the
+            same scenario.
+        """
         return compute_snr_profile(self.layout, self.link,
                                    resolution_m=self.resolution_m)

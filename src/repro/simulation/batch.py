@@ -121,6 +121,7 @@ class DayBatchResult:
         return self.total_mains_wh / hours / (self.layout.isd_m / 1000.0)
 
     def mean_w_per_km(self) -> float:
+        """Fleet-mean average mains power per km (the Fig. 4 quantity)."""
         return float(np.mean(self.avg_w_per_km))
 
     def std_w_per_km(self) -> float:
@@ -407,6 +408,29 @@ def simulate_days(layout: CorridorLayout,
     active seconds, awake seconds and energies (equal to ~1e-9; asserted in
     ``tests/test_engine_parity.py`` and gated at >= 10x speedup in
     ``benchmarks/bench_sim_batch.py``).
+
+    Args:
+        layout: The corridor geometry (one segment).
+        mode: Operating policy of the LP nodes.
+        params: Energy parameters (paper defaults when ``None``).
+        timetables: Explicit day timetables, one per realization (all
+            sharing one horizon); mutually exclusive with ``realizations``.
+        realizations: Number of generated days when ``timetables`` is None.
+        stochastic: Draw seeded Poisson days (``default_rng([seed, r])``)
+            instead of replicating the deterministic Table III day.
+        seed: Root seed of the stochastic fleet.
+        days: Horizon length in days for generated timetables.
+        transition_s: Sleep/wake transition time [s].
+        wake_lead_m: Wake-up lead distance ahead of an approaching train [m].
+        engine: ``"batch"`` (default) or the ``"event"`` escape hatch.
+
+    Returns:
+        The :class:`DayBatchResult` with read-only ``[realization, element]``
+        tensors.
+
+    Raises:
+        ConfigurationError: On an unknown engine, negative transition/lead,
+            or inconsistent timetable horizons.
     """
     if engine not in _ENGINES:
         raise ConfigurationError(

@@ -60,6 +60,15 @@ def corridor_elements(layout: CorridorLayout,
     active while a train overlaps the span of their served node group
     (Section V-A's donor counting rule).  Low-power nodes are sleep-capable
     unless the policy is :attr:`OperatingMode.CONTINUOUS`.
+
+    Args:
+        layout: The corridor geometry (HP masts + repeater field).
+        mode: Operating policy, which decides sleep capability and the LP
+            power draws.
+        params: Energy parameters (paper defaults when ``None``).
+
+    Returns:
+        The ordered :class:`ElementSpec` tuple shared by both engines.
     """
     params = params or EnergyParams()
     sleeping_lp = mode is not OperatingMode.CONTINUOUS

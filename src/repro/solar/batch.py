@@ -74,6 +74,16 @@ class WeatherKey:
     @classmethod
     def for_weather(cls, weather: SyntheticWeather, days: int,
                     start_day_of_year: int) -> "WeatherKey":
+        """Key of the ``(days, 24)`` tensor ``weather`` would synthesize.
+
+        Args:
+            weather: The configured synthesizer (location, parameters, seed).
+            days: Simulated days.
+            start_day_of_year: First simulated day of year (1-based).
+
+        Returns:
+            The frozen key; equal keys guarantee bit-identical tensors.
+        """
         return cls(location=weather.location, params=weather.params,
                    seed=weather.seed, days=days,
                    start_day_of_year=start_day_of_year,
@@ -104,9 +114,11 @@ class WeatherCache(ArrayCache):
                            **{name: arrays[name] for name in _WEATHER_FIELDS})
 
     def get(self, key: WeatherKey) -> WeatherYear | None:
+        """Cached weather year for ``key``, or ``None`` on a miss."""
         return self.get_by_hash(key.content_hash)
 
     def put(self, key: WeatherKey, year: WeatherYear) -> None:
+        """Store a synthesized weather year under its key's hash."""
         self.put_by_hash(key.content_hash, year)
 
 
@@ -117,7 +129,13 @@ _DEFAULT_WEATHER_CACHE = WeatherCache(maxsize=64)
 
 
 def default_weather_cache() -> WeatherCache:
-    """The process-wide weather memo used when no cache is passed."""
+    """The process-wide weather memo used when no cache is passed.
+
+    Returns:
+        The shared in-memory :class:`WeatherCache` (64 hot years, no disk
+        layer); pass your own instance with a ``cache_dir`` to persist
+        syntheses across runs.
+    """
     return _DEFAULT_WEATHER_CACHE
 
 
@@ -129,9 +147,19 @@ def synthesize_weather_year(location: Location,
                             cache: WeatherCache | None = None) -> WeatherYear:
     """One memoized ``(days, 24)`` weather-year tensor for a location.
 
-    ``params=None`` uses the location's calibrated weather character (same
-    resolution rule as :class:`~repro.solar.irradiance.SyntheticWeather`).
-    ``cache=None`` uses the process-wide default memo.
+    Args:
+        location: Study location (coordinates + monthly climatology).
+        params: Weather-character override; ``None`` uses the location's
+            calibrated parameters (same resolution rule as
+            :class:`~repro.solar.irradiance.SyntheticWeather`).
+        seed: Seed of the daily-clearness AR(1) process.
+        days: Days to synthesize.
+        start_day_of_year: First day of year (1-based).
+        cache: Weather memo; ``None`` uses the process-wide default.
+
+    Returns:
+        The :class:`~repro.solar.irradiance.WeatherYear` tensor —
+        bit-identical to per-day ``day_irradiance`` synthesis.
     """
     weather = SyntheticWeather(location, params=params, seed=seed)
     return _weather_year_for(weather, days, start_day_of_year, cache)
@@ -154,6 +182,16 @@ def candidate_grid(pv_peaks_w, battery_whs) -> tuple[tuple[float, float], ...]:
 
     The grid is ordered battery-major within each PV size, matching the
     cheapest-first walk of the sizing ladder.
+
+    Args:
+        pv_peaks_w: PV peak-power axis [Wp].
+        battery_whs: Battery-capacity axis [Wh].
+
+    Returns:
+        ``(pv_peak_w, battery_wh)`` tuples, PV-major.
+
+    Raises:
+        ConfigurationError: When either axis is empty.
     """
     candidates = tuple((float(pv), float(wh))
                        for pv in pv_peaks_w for wh in battery_whs)
@@ -169,13 +207,30 @@ def simulate_systems(systems,
                      weather_cache: WeatherCache | None = None) -> list[OffGridResult]:
     """Batched hourly energy balance over every system at once.
 
-    ``systems`` is a sequence of :class:`~repro.solar.offgrid.OffGridSystem`;
-    they may span locations, candidate sizes, seeds and loads.  Weather is
-    synthesized once per unique :class:`WeatherKey` (memoized through
-    ``weather_cache``); the battery recurrence then advances all systems one
-    hour per step with numpy element-wise operations whose order matches
-    :meth:`~repro.solar.offgrid.OffGridSystem.simulate_year` exactly, so the
-    returned results are bit-identical to the scalar path.
+    Weather is synthesized once per unique :class:`WeatherKey` (memoized
+    through ``weather_cache``); the battery recurrence then advances all
+    systems one hour per step with numpy element-wise operations whose order
+    matches :meth:`~repro.solar.offgrid.OffGridSystem.simulate_year`
+    exactly, so the returned results are bit-identical to the scalar path —
+    ``system.simulate_year(days)`` is the per-system escape hatch / audit
+    path, pinned equal in ``tests/test_engine_parity.py``.
+
+    Args:
+        systems: Sequence of :class:`~repro.solar.offgrid.OffGridSystem`;
+            they may span locations, candidate sizes, seeds and loads.
+        days: Simulated days (one shared horizon for the whole batch).
+        initial_soc: Battery state of charge at the first hour, in [0, 1].
+        start_day_of_year: First day of year; ``None`` uses the Oct-1
+            default that puts one continuous winter mid-simulation.
+        weather_cache: Optional memo of synthesized weather tensors.
+
+    Returns:
+        One :class:`~repro.solar.offgrid.OffGridResult` per system, in input
+        order.
+
+    Raises:
+        ConfigurationError: On a non-positive horizon or an SoC outside
+            [0, 1].
     """
     systems = list(systems)
     if not systems:
@@ -284,8 +339,20 @@ def simulate_candidates(location: Location,
                         weather_cache: WeatherCache | None = None) -> list[OffGridResult]:
     """Evaluate a whole (PV peak, battery Wh) candidate ladder in one pass.
 
-    Returns one :class:`~repro.solar.offgrid.OffGridResult` per candidate, in
-    order — the batched equivalent of calling ``simulate_year`` per rung.
+    Args:
+        location: Study location shared by every candidate.
+        candidates: ``(pv_peak_w, battery_wh)`` tuples (see
+            :func:`candidate_grid`).
+        load: Optional load-profile override (default: the repeater load).
+        weather: Optional weather-character override.
+        seed: Weather-year seed shared by every candidate.
+        performance_ratio: PV performance ratio.
+        weather_cache: Optional memo of synthesized weather tensors.
+
+    Returns:
+        One :class:`~repro.solar.offgrid.OffGridResult` per candidate, in
+        order — the batched equivalent of calling ``simulate_year`` per
+        rung (bit-identical; the scalar method remains the audit path).
     """
     systems = [
         OffGridSystem(

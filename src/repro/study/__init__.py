@@ -1,0 +1,43 @@
+"""Declarative study layer: YAML/TOML sweeps over the batch engines.
+
+A *study* is a sweep-as-data document — axes over any scenario / solar / MC /
+sim parameter, an engine selection, seeds and derived-metric formulas — that
+compiles to the existing batch engines and runs through a sharded,
+resumable, process-parallel runner into one tidy results table.
+
+::
+
+    from repro.study import load_study, run_study
+
+    spec = load_study("studies/sim_grid.yaml")
+    report = run_study(spec, jobs=4)
+    report.table.write_csv("sim_grid.csv")        # tidy long format
+
+See ``docs/studies.md`` for the document schema and ``studies/*.yaml`` for
+the shipped examples mirroring the ``sim-grid`` / ``robustness-grid`` /
+``table4-grid`` experiments.
+"""
+
+from repro.study.engines import STUDY_ENGINES, EngineAdapter, run_cases
+from repro.study.expressions import compile_expression
+from repro.study.results import StudyStore, StudyTable, build_table, merge_shards
+from repro.study.runner import StudyRunReport, run_study, shard_ranges
+from repro.study.spec import StudySpec, load_study, parse_study, study_from_mapping
+
+__all__ = [
+    "STUDY_ENGINES",
+    "EngineAdapter",
+    "run_cases",
+    "compile_expression",
+    "StudyStore",
+    "StudyTable",
+    "build_table",
+    "merge_shards",
+    "StudyRunReport",
+    "run_study",
+    "shard_ranges",
+    "StudySpec",
+    "load_study",
+    "parse_study",
+    "study_from_mapping",
+]

@@ -1,0 +1,283 @@
+"""Unified study results: tidy tables, CSV/JSON writers, shard store.
+
+A study run produces one :class:`StudyTable` — a column-oriented table with
+one row per case, carrying the case index, every axis value and every metric
+(engine metrics, optionally filtered, plus derived metrics).  The table
+writes as
+
+* **long** (tidy) CSV — one row per ``(case, metric)`` with per-axis columns,
+  the layout downstream dataframe tooling melts/pivots for free;
+* **wide** CSV — one row per case, one column per metric;
+* JSON — a provenance document (spec echo + wide records).
+
+:class:`StudyStore` is the disk layer of the sharded runner: each completed
+shard's raw engine metrics persist as one ``.npz`` bundle (the same
+write-then-rename :class:`~repro.scenario.cache.ArrayCache` machinery as the
+profile and weather caches), keyed by the spec's
+:attr:`~repro.study.spec.StudySpec.compute_hash` and the shard's case range —
+so an interrupted run resumes from its completed shards, and the merged table
+is bit-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.reporting.series import write_csv
+from repro.reporting.tables import format_table
+from repro.scenario.cache import ArrayCache
+from repro.study.expressions import compile_expression
+from repro.study.spec import StudySpec
+
+__all__ = ["ShardTable", "StudyTable", "StudyStore", "build_table",
+           "merge_shards"]
+
+#: Raw per-shard payload: ``{"case": [...], metric: [...], ...}`` columns.
+ShardTable = dict
+
+
+@dataclass(frozen=True)
+class StudyTable:
+    """Column-oriented study results: one row per evaluated case.
+
+    Attributes
+    ----------
+    name / engine:
+        Provenance echoed from the :class:`~repro.study.spec.StudySpec`.
+    axis_names:
+        Sweep axis column names, in declaration order.
+    metric_names:
+        Metric column names (filtered engine metrics + derived), in order.
+    columns:
+        ``{"case": [...], <axis>: [...], <metric>: [...]}`` — equal-length
+        lists; ``case`` is the stable case index within the study.
+    """
+
+    name: str
+    engine: str
+    axis_names: tuple[str, ...]
+    metric_names: tuple[str, ...]
+    columns: dict
+
+    def __post_init__(self) -> None:
+        lengths = {name: len(values) for name, values in self.columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise ConfigurationError(f"column lengths differ: {lengths}")
+
+    def __len__(self) -> int:
+        return len(self.columns["case"])
+
+    # -- layouts -------------------------------------------------------------
+
+    def wide(self) -> dict:
+        """The per-case (wide) column mapping, ordered case/axes/metrics."""
+        names = ("case",) + self.axis_names + self.metric_names
+        return {name: list(self.columns[name]) for name in names}
+
+    def long(self) -> dict:
+        """Tidy long-format columns: one row per ``(case, metric)``.
+
+        Columns: ``case``, every axis, ``metric`` (the metric name) and
+        ``value``.  Metric order cycles fastest, so all metrics of one case
+        are adjacent — the layout that melts cleanly into dataframes.
+        """
+        n = len(self)
+        repeat = len(self.metric_names)
+        out = {"case": [c for c in self.columns["case"] for _ in range(repeat)]}
+        for axis in self.axis_names:
+            out[axis] = [v for v in self.columns[axis] for _ in range(repeat)]
+        out["metric"] = list(self.metric_names) * n
+        out["value"] = [self.columns[m][i]
+                        for i in range(n) for m in self.metric_names]
+        return out
+
+    # -- writers -------------------------------------------------------------
+
+    def write_csv(self, path: str | Path, layout: str = "long") -> Path:
+        """Write the table as CSV.
+
+        Args:
+            path: Output file (parent directories are created).
+            layout: ``"long"`` (tidy, default) or ``"wide"``.
+
+        Returns:
+            The resolved path.
+        """
+        if layout == "long":
+            return write_csv(path, self.long())
+        if layout == "wide":
+            return write_csv(path, self.wide())
+        raise ConfigurationError(
+            f"unknown CSV layout {layout!r}; expected 'long' or 'wide'")
+
+    def write_json(self, path: str | Path) -> Path:
+        """Write a JSON provenance document (study id + wide records).
+
+        NaN cells (infeasible cases) are serialized as ``null`` so the output
+        is strict JSON.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        wide = self.wide()
+        names = list(wide)
+        rows = [{name: _json_cell(wide[name][i]) for name in names}
+                for i in range(len(self))]
+        document = {
+            "study": self.name,
+            "engine": self.engine,
+            "axes": list(self.axis_names),
+            "metrics": list(self.metric_names),
+            "rows": rows,
+        }
+        path.write_text(json.dumps(document, indent=2) + "\n")
+        return path
+
+    # -- display -------------------------------------------------------------
+
+    def table(self, limit: int = 20) -> str:
+        """Formatted preview of the first ``limit`` rows (wide layout)."""
+        wide = self.wide()
+        names = list(wide)
+        shown = min(len(self), limit)
+        rows = [[wide[name][i] for name in names] for i in range(shown)]
+        suffix = "" if shown == len(self) else f" (first {shown} of {len(self)})"
+        return format_table(
+            names, rows,
+            title=f"study {self.name}: {len(self)} cases, "
+                  f"{self.engine} engine{suffix}")
+
+
+def _json_cell(value):
+    if isinstance(value, float) and math.isnan(value):
+        return None
+    return value
+
+
+# -- assembly -----------------------------------------------------------------
+
+
+def merge_shards(shards: list[ShardTable]) -> ShardTable:
+    """Concatenate raw shard tables in case order.
+
+    Args:
+        shards: Shard payloads (each with a ``case`` column); may arrive in
+            any completion order.
+
+    Returns:
+        One raw table sorted by first case index of each shard.
+
+    Raises:
+        ConfigurationError: If shard column sets disagree or case ranges
+            overlap.
+    """
+    if not shards:
+        return {"case": []}
+    ordered = sorted((s for s in shards if s["case"]),
+                     key=lambda s: s["case"][0])
+    if not ordered:
+        return {name: [] for name in shards[0]}
+    names = list(ordered[0])
+    merged: ShardTable = {name: [] for name in names}
+    last_case = -1
+    for shard in ordered:
+        if list(shard) != names:
+            raise ConfigurationError(
+                f"shard columns differ: {list(shard)} != {names}")
+        if shard["case"][0] <= last_case:
+            raise ConfigurationError(
+                f"shard case ranges overlap at case {shard['case'][0]}")
+        last_case = shard["case"][-1]
+        for name in names:
+            merged[name].extend(shard[name])
+    return merged
+
+
+def build_table(spec: StudySpec, raw: ShardTable) -> StudyTable:
+    """Turn merged raw engine metrics into the final :class:`StudyTable`.
+
+    Derived metrics are evaluated here (per case, over the raw metric
+    environment) and the optional ``metrics`` subset filter is applied — both
+    *after* the store layer, so editing a formula or the filter reuses cached
+    engine results.
+
+    Args:
+        spec: The study the raw rows belong to.
+        raw: Merged raw columns (``case`` + every engine metric).
+
+    Returns:
+        The final table with axis columns attached.
+    """
+    from repro.study.engines import STUDY_ENGINES
+
+    adapter = STUDY_ENGINES[spec.engine]
+    cases = spec.cases()
+    case_indices = [int(c) for c in raw["case"]]
+    kept = spec.metrics or adapter.metrics
+    derived = [(name, compile_expression(expression))
+               for name, expression in spec.derived]
+
+    columns: dict = {"case": case_indices}
+    for axis in spec.axis_names:
+        columns[axis] = [cases[i][axis] for i in case_indices]
+    for metric in kept:
+        # A fully empty merge (e.g. max_shards=0) carries no metric columns.
+        columns[metric] = list(raw[metric]) if case_indices else []
+    if derived:
+        env_rows = [{m: raw[m][r] for m in adapter.metrics}
+                    for r in range(len(case_indices))]
+        for name, evaluate in derived:
+            columns[name] = [evaluate(env) for env in env_rows]
+    return StudyTable(
+        name=spec.name,
+        engine=spec.engine,
+        axis_names=spec.axis_names,
+        metric_names=tuple(kept) + tuple(name for name, _ in spec.derived),
+        columns=columns,
+    )
+
+
+# -- disk layer ---------------------------------------------------------------
+
+
+class StudyStore(ArrayCache):
+    """LRU + disk memo of raw shard tables, keyed by (spec, case range).
+
+    Values are :data:`ShardTable` column mappings; numeric columns persist as
+    float/int arrays, string columns as unicode arrays.  The round trip is
+    exact (float64 bits, int, str), so a resumed run's merged table is
+    bit-identical to an uninterrupted one.
+    """
+
+    def _pack(self, value: ShardTable) -> dict[str, np.ndarray]:
+        arrays = {"__columns__": np.array(list(value), dtype=np.str_)}
+        for i, (name, column) in enumerate(value.items()):
+            arr = np.asarray(column)
+            if arr.dtype == object or arr.dtype.kind not in "iufUSb":
+                arr = np.array([str(v) for v in column], dtype=np.str_)
+            arrays[f"col{i}"] = arr
+        return arrays
+
+    def _unpack(self, arrays: dict[str, np.ndarray]) -> ShardTable:
+        names = [str(n) for n in arrays["__columns__"].tolist()]
+        return {name: arrays[f"col{i}"].tolist()
+                for i, name in enumerate(names)}
+
+    @staticmethod
+    def shard_key(spec: StudySpec, start: int, stop: int) -> str:
+        """Store key of the ``[start, stop)`` case range of ``spec``."""
+        return f"{spec.compute_hash[:40]}-{start:06d}-{stop:06d}"
+
+    def get_shard(self, spec: StudySpec, start: int, stop: int) -> ShardTable | None:
+        """Cached shard table, or ``None`` when the range was never stored."""
+        return self.get_by_hash(self.shard_key(spec, start, stop))
+
+    def put_shard(self, spec: StudySpec, start: int, stop: int,
+                  value: ShardTable) -> None:
+        """Persist one completed shard's raw table."""
+        self.put_by_hash(self.shard_key(spec, start, stop), value)

@@ -1,0 +1,212 @@
+"""Sharded study execution: chunked cases, process pools, resumability.
+
+:func:`run_study` turns a :class:`~repro.study.spec.StudySpec` into a merged
+:class:`~repro.study.results.StudyTable`:
+
+1. the case list (cartesian axis product) is split into ``shards`` contiguous
+   chunks of near-equal size;
+2. shards already present in the optional :class:`~repro.study.results.StudyStore`
+   are reused (resume-from-partial);
+3. the remaining shards run — inline for ``jobs=1``, otherwise on a
+   :class:`~concurrent.futures.ProcessPoolExecutor` of ``jobs`` workers —
+   with a ``[k/n]`` progress callback per completed shard;
+4. completed shards persist to the store and merge, in case order, into the
+   final table.
+
+**CRN contract.**  A case's engine seed depends only on the study seed and
+the case index (:meth:`~repro.study.spec.StudySpec.case_seed`); the stochastic
+engines then seed their streams ``default_rng([seed, t])`` per trial /
+realization.  Shard boundaries never enter the seeding path, so the merged
+table is bit-identical for *any* shard count and job count — asserted in
+``tests/test_study.py``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.study.engines import run_cases
+from repro.study.results import (
+    ShardTable,
+    StudyStore,
+    StudyTable,
+    build_table,
+    merge_shards,
+)
+from repro.study.spec import StudySpec
+
+__all__ = ["StudyRunReport", "run_study", "shard_ranges"]
+
+#: Default upper bound on the shard count (kept independent of ``jobs`` so a
+#: resumed run finds the same shard layout regardless of its parallelism).
+DEFAULT_MAX_SHARDS = 16
+
+
+def shard_ranges(case_count: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``case_count`` cases into ``shards`` contiguous ``[start, stop)``
+    ranges whose sizes differ by at most one.
+
+    Args:
+        case_count: Total number of cases.
+        shards: Requested shard count (clamped to ``case_count``).
+
+    Returns:
+        The ordered, non-empty case ranges.
+    """
+    if case_count < 1:
+        raise ConfigurationError(f"case_count must be >= 1, got {case_count}")
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    shards = min(shards, case_count)
+    bounds = [round(i * case_count / shards) for i in range(shards + 1)]
+    return [(bounds[i], bounds[i + 1]) for i in range(shards)]
+
+
+def _run_shard(payload: tuple[StudySpec, int, int, dict]) -> tuple[int, ShardTable]:
+    """Worker entry point: evaluate the ``[start, stop)`` case range.
+
+    Module-level so it pickles into :class:`ProcessPoolExecutor` workers;
+    regenerates the case list from the spec (cheap, deterministic) instead of
+    shipping it, and relies on per-process engine caches
+    (:mod:`repro.study.engines`) for shared state.
+    """
+    spec, start, stop, context = payload
+    cases = spec.cases()[start:stop]
+    seeds = [spec.case_seed(i) for i in range(start, stop)]
+    rows = run_cases(spec.engine, cases, seeds, context=context)
+    shard: ShardTable = {"case": list(range(start, stop))}
+    if rows:
+        for metric in rows[0]:
+            shard[metric] = [row[metric] for row in rows]
+    return start, shard
+
+
+#: Context keys that are plain data and may cross a process boundary; live
+#: cache objects (``profile_cache``, ``weather_cache``) stay inline-only.
+_PICKLABLE_CONTEXT_KEYS = ("cache_dir", "jobs")
+
+
+@dataclass(frozen=True)
+class StudyRunReport:
+    """A finished (or partial) study run: the merged table + provenance.
+
+    ``partial`` is True when ``max_shards`` stopped the run before every
+    shard was evaluated; re-running with the same store completes it.
+    """
+
+    spec: StudySpec
+    table: StudyTable
+    shards: int
+    reused_shards: int
+    computed_shards: int
+    jobs: int
+
+    @property
+    def partial(self) -> bool:
+        return self.reused_shards + self.computed_shards < self.shards
+
+    def summary(self) -> str:
+        """One-line run summary for logs and the CLI."""
+        state = "partial" if self.partial else "complete"
+        return (f"study {self.spec.name!r}: {len(self.table)}/"
+                f"{self.spec.case_count} cases ({state}), "
+                f"{self.shards} shards ({self.reused_shards} reused, "
+                f"{self.computed_shards} computed), jobs={self.jobs}")
+
+
+def run_study(spec: StudySpec,
+              jobs: int = 1,
+              shards: int | None = None,
+              store: StudyStore | None = None,
+              progress: Callable[[int, int, str], None] | None = None,
+              max_shards: int | None = None,
+              context: dict | None = None) -> StudyRunReport:
+    """Execute a study and merge its shards into one results table.
+
+    Args:
+        spec: The validated study specification.
+        jobs: Worker processes; ``1`` (default) runs inline in this process.
+        shards: Number of contiguous case chunks.  Defaults to
+            ``min(case_count, 16)``; a resumed run must use the same shard
+            layout as the run that populated the store (the store keys by
+            case range, so a different layout simply recomputes).
+        store: Optional :class:`~repro.study.results.StudyStore`; completed
+            shards persist there and are reused by later runs (resume).
+        progress: Optional ``progress(done, total, label)`` callback invoked
+            once per finished shard (reused shards report first).
+        max_shards: Stop after computing this many new shards (reused shards
+            don't count) — a smoke/ops hook that yields a ``partial`` report;
+            rerun with the same store to continue.
+        context: Optional engine context.  ``profile_cache`` /
+            ``weather_cache`` objects are honoured inline (``jobs=1``) only;
+            ``cache_dir`` (a path string) is forwarded to worker processes,
+            which share state through per-process disk-backed caches.
+
+    Returns:
+        The :class:`StudyRunReport` with the merged
+        :class:`~repro.study.results.StudyTable` (partial runs contain only
+        the completed case ranges, in order).
+
+    Raises:
+        ConfigurationError: On invalid ``jobs``/``shards`` or any engine
+            error raised by a case.
+    """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if max_shards is not None and max_shards < 0:
+        raise ConfigurationError(f"max_shards must be >= 0, got {max_shards}")
+    case_count = spec.case_count
+    if shards is None:
+        shards = min(case_count, DEFAULT_MAX_SHARDS)
+    ranges = shard_ranges(case_count, shards)
+
+    done: list[ShardTable] = []
+    pending: list[tuple[int, int]] = []
+    for start, stop in ranges:
+        cached = store.get_shard(spec, start, stop) if store is not None else None
+        if cached is not None:
+            done.append(cached)
+        else:
+            pending.append((start, stop))
+    reused = len(done)
+    total = len(ranges)
+    finished = reused
+    if progress is not None and reused:
+        progress(finished, total, f"{reused} shards reused from store")
+
+    if max_shards is not None:
+        pending = pending[:max_shards]
+
+    def record(start: int, stop: int, shard: ShardTable) -> None:
+        nonlocal finished
+        if store is not None:
+            store.put_shard(spec, start, stop, shard)
+        done.append(shard)
+        finished += 1
+        if progress is not None:
+            progress(finished, total, f"cases [{start}:{stop})")
+
+    context = dict(context or {})
+    if jobs == 1 or len(pending) <= 1:
+        for start, stop in pending:
+            _, shard = _run_shard((spec, start, stop, context))
+            record(start, stop, shard)
+    else:
+        shipped = {k: context[k] for k in _PICKLABLE_CONTEXT_KEYS
+                   if k in context}
+        workers = min(jobs, len(pending))
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(_run_shard, (spec, start, stop, shipped)):
+                       (start, stop) for start, stop in pending}
+            for future in concurrent.futures.as_completed(futures):
+                start, stop = futures[future]
+                _, shard = future.result()
+                record(start, stop, shard)
+
+    table = build_table(spec, merge_shards(done))
+    return StudyRunReport(spec=spec, table=table, shards=total,
+                          reused_shards=reused,
+                          computed_shards=len(done) - reused, jobs=jobs)

@@ -1,0 +1,555 @@
+"""Tests for the declarative study layer (repro.study).
+
+Covers the ISSUE-5 contract: YAML/TOML round-trips and validation errors,
+shard-count invariance (1 shard == N shards bit-identical under CRN),
+resume-from-partial-results equality, study-vs-experiment parity for the
+shipped ``studies/*.yaml`` files, and the ``repro study`` CLI smoke.
+"""
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.experiments.extensions import (
+    robustness_grid_study_spec,
+    run_robustness_grid,
+)
+from repro.experiments.simgrid import run_sim_grid, sim_grid_study_spec
+from repro.experiments.table4 import run_table4_grid, table4_grid_study_spec
+from repro.study import (
+    STUDY_ENGINES,
+    StudySpec,
+    StudyStore,
+    compile_expression,
+    load_study,
+    parse_study,
+    run_study,
+    shard_ranges,
+)
+
+STUDIES_DIR = Path(__file__).resolve().parents[1] / "studies"
+
+MC_TEXT = """
+name: mc-tiny
+engine: mc
+seed: 7
+axes:
+  sigma_db: [2.0, 4.0]
+  isd_m: [2000.0, 2400.0]
+fixed:
+  n_repeaters: 8
+  trials: 12
+  resolution_m: 50.0
+derived:
+  outage_pct: 100 * outage_probability
+"""
+
+
+def mc_spec() -> StudySpec:
+    return parse_study(MC_TEXT)
+
+
+# -- spec loading and validation ----------------------------------------------
+
+
+class TestSpec:
+    def test_yaml_round_trip(self):
+        spec = mc_spec()
+        assert spec.name == "mc-tiny"
+        assert spec.engine == "mc"
+        assert spec.axis_names == ("sigma_db", "isd_m")
+        assert spec.case_count == 4
+        assert dict(spec.fixed)["trials"] == 12
+        assert spec.derived == (("outage_pct", "100 * outage_probability"),)
+
+    def test_toml_round_trip(self):
+        text = """
+name = "toml-study"
+engine = "radio"
+seed = 3
+
+[axes]
+isd_m = [2000.0, 2400.0]
+
+[fixed]
+n_repeaters = 8
+resolution_m = 50.0
+"""
+        spec = parse_study(text, format="toml")
+        assert spec.name == "toml-study"
+        assert spec.case_count == 2
+        assert spec.seed == 3
+
+    def test_load_study_file(self, tmp_path):
+        path = tmp_path / "s.yaml"
+        path.write_text(MC_TEXT)
+        assert load_study(path).compute_hash == mc_spec().compute_hash
+
+    def test_unknown_suffix_rejected(self, tmp_path):
+        path = tmp_path / "s.ini"
+        path.write_text(MC_TEXT)
+        with pytest.raises(ConfigurationError, match="yaml"):
+            load_study(path)
+
+    def test_case_order_is_cartesian_last_axis_fastest(self):
+        cases = mc_spec().cases()
+        assert [(c["sigma_db"], c["isd_m"]) for c in cases] == [
+            (2.0, 2000.0), (2.0, 2400.0), (4.0, 2000.0), (4.0, 2400.0)]
+        assert all(c["trials"] == 12 for c in cases)
+
+    @pytest.mark.parametrize("mutation, match", [
+        ({"engine": "warp"}, "unknown engine"),
+        ({"axes": {}}, "no sweep axes"),
+        ({"axes": {"sigma_db": []}}, "is empty"),
+        ({"axes": {"bogus_param": [1.0]}}, "does not accept"),
+        ({"axes": {"sigma_db": [2.0]}, "fixed": {"sigma_db": 4.0}},
+         "both as an axis"),
+        ({"metrics": ["nope"]}, "unknown metrics"),
+        ({"derived": {"outage_probability": "1 + 1"}}, "collides"),
+        ({"derived": {"x": "unknown_metric + 1"}}, "references"),
+        ({"derived": {"x": "__import__('os')"}}, "not allowed"),
+        ({"derived": {"x": "1 +"}}, "does not parse"),
+        ({"seed": "abc"}, "integer"),
+        ({"seed_mode": "chaos"}, "seed_mode"),
+        ({"frobnicate": 1}, "unknown study keys"),
+    ])
+    def test_validation_errors(self, mutation, match):
+        import yaml
+
+        document = yaml.safe_load(MC_TEXT)
+        document.update(mutation)
+        with pytest.raises(ConfigurationError, match=match):
+            parse_study(yaml.safe_dump(document))
+
+    def test_missing_required_param(self):
+        with pytest.raises(ConfigurationError, match="requires"):
+            parse_study("""
+name: x
+engine: sim
+axes:
+  headway_s: [450.0]
+""")
+
+    def test_compute_hash_ignores_derived_and_metrics(self):
+        spec = mc_spec()
+        assert replace(spec, derived=(), description="other").compute_hash \
+            == spec.compute_hash
+        assert replace(spec, seed=8).compute_hash != spec.compute_hash
+        assert replace(spec, fixed=spec.fixed[:-1]).compute_hash \
+            != spec.compute_hash
+
+    def test_case_seed_modes(self):
+        shared = mc_spec()
+        assert [shared.case_seed(i) for i in range(4)] == [7, 7, 7, 7]
+        per_case = replace(shared, seed_mode="per-case")
+        seeds = [per_case.case_seed(i) for i in range(4)]
+        assert len(set(seeds)) == 4
+        assert seeds == [per_case.case_seed(i) for i in range(4)]
+
+    def test_with_overrides(self):
+        spec = mc_spec().with_overrides(trials=5)
+        assert dict(spec.fixed)["trials"] == 5
+        assert spec.case_count == 4
+
+
+class TestExpressions:
+    def test_arithmetic_and_functions(self):
+        env = {"a": 9.0, "b": 2.0}
+        assert compile_expression("sqrt(a) + b ** 2")(env) == 7.0
+        assert compile_expression("a if a > b else b")(env) == 9.0
+        assert compile_expression("min(a, b) / max(a, b)")(env) == 2.0 / 9.0
+
+    @pytest.mark.parametrize("bad", [
+        "__import__('os').system('x')",
+        "a.__class__",
+        "[x for x in (1,)]",
+        "lambda: 1",
+        "open('f')",
+        "'str' + 'cat'",
+        "a @ b",
+    ])
+    def test_rejects_unsafe_syntax(self, bad):
+        with pytest.raises(ConfigurationError):
+            compile_expression(bad)
+
+    def test_unknown_name_at_eval(self):
+        evaluate = compile_expression("nope + 1")
+        with pytest.raises(ConfigurationError, match="unknown name"):
+            evaluate({"a": 1.0})
+
+
+# -- runner: sharding, parallelism, resume ------------------------------------
+
+
+class TestRunner:
+    def test_shard_ranges_balanced(self):
+        assert shard_ranges(10, 3) == [(0, 3), (3, 7), (7, 10)]
+        assert shard_ranges(2, 5) == [(0, 1), (1, 2)]
+        with pytest.raises(ConfigurationError):
+            shard_ranges(0, 1)
+
+    def test_shard_count_invariance_bit_identical(self):
+        spec = mc_spec()
+        tables = [run_study(spec, shards=k).table for k in (1, 2, 4)]
+        reference = tables[0].long()
+        for table in tables[1:]:
+            assert table.long() == reference
+
+    def test_process_pool_matches_inline(self):
+        spec = mc_spec()
+        inline = run_study(spec, jobs=1, shards=4).table.long()
+        pooled = run_study(spec, jobs=2, shards=4).table.long()
+        assert pooled == inline
+
+    def test_seed_mode_changes_stochastic_results(self):
+        spec = mc_spec()
+        shared = run_study(spec).table.wide()
+        per_case = run_study(replace(spec, seed_mode="per-case")).table.wide()
+        assert shared["outage_probability"] != per_case["outage_probability"]
+
+    def test_resume_from_partial_equals_fresh_run(self, tmp_path):
+        spec = mc_spec()
+        fresh = run_study(spec, shards=4).table
+
+        store = StudyStore(cache_dir=tmp_path / "store")
+        partial = run_study(spec, shards=4, store=store, max_shards=2)
+        assert partial.partial
+        assert partial.computed_shards == 2
+        assert len(partial.table) == 2  # half the cases
+
+        # a new store instance (fresh process equivalent) resumes from disk
+        resumed = run_study(spec, shards=4,
+                            store=StudyStore(cache_dir=tmp_path / "store"))
+        assert not resumed.partial
+        assert resumed.reused_shards == 2
+        assert resumed.computed_shards == 2
+        assert resumed.table.long() == fresh.long()
+
+        # a third run is served entirely from the store, still identical
+        replayed = run_study(spec, shards=4,
+                             store=StudyStore(cache_dir=tmp_path / "store"))
+        assert replayed.reused_shards == 4
+        assert replayed.table.long() == fresh.long()
+
+    def test_store_survives_string_axes(self, tmp_path):
+        spec = parse_study("""
+name: solar-tiny
+engine: solar
+seed: 2022
+axes:
+  location: [madrid, berlin]
+fixed:
+  pv_peak_w: 540.0
+  battery_wh: 720.0
+""")
+        store = StudyStore(cache_dir=tmp_path)
+        first = run_study(spec, shards=2, store=store).table
+        resumed = run_study(spec, shards=2,
+                            store=StudyStore(cache_dir=tmp_path)).table
+        assert resumed.long() == first.long()
+        assert resumed.wide()["location"] == ["madrid", "berlin"]
+
+    def test_progress_heartbeat(self):
+        beats = []
+        run_study(mc_spec(), shards=4,
+                  progress=lambda k, n, label: beats.append((k, n)))
+        assert beats == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+    def test_engine_error_propagates(self):
+        spec = parse_study("""
+name: bad-location
+engine: solar
+axes:
+  location: [atlantis]
+fixed:
+  pv_peak_w: 540.0
+  battery_wh: 720.0
+""")
+        with pytest.raises(ConfigurationError, match="atlantis"):
+            run_study(spec)
+
+
+# -- results table ------------------------------------------------------------
+
+
+class TestResults:
+    def test_long_and_wide_layouts(self):
+        table = run_study(mc_spec()).table
+        wide = table.wide()
+        long = table.long()
+        metrics = list(table.metric_names)
+        assert "outage_pct" in metrics  # derived metric lands in the table
+        assert len(long["case"]) == len(wide["case"]) * len(metrics)
+        assert long["metric"][:len(metrics)] == metrics
+        # long rows reconstruct the wide cells
+        assert long["value"][metrics.index("outage_pct")] \
+            == wide["outage_pct"][0]
+
+    def test_metric_filter(self):
+        spec = replace(mc_spec(), metrics=("outage_probability",))
+        table = run_study(spec).table
+        assert table.metric_names == ("outage_probability", "outage_pct")
+        assert set(table.wide()) == {"case", "sigma_db", "isd_m",
+                                     "outage_probability", "outage_pct"}
+
+    def test_csv_and_json_writers(self, tmp_path):
+        table = run_study(mc_spec()).table
+        csv_path = table.write_csv(tmp_path / "out.csv")
+        header = csv_path.read_text().splitlines()[0]
+        assert header == "case,sigma_db,isd_m,metric,value"
+        wide_path = table.write_csv(tmp_path / "wide.csv", layout="wide")
+        assert wide_path.read_text().splitlines()[0].startswith(
+            "case,sigma_db,isd_m,outage_probability")
+        document = json.loads(table.write_json(tmp_path / "o.json").read_text())
+        assert document["study"] == "mc-tiny"
+        assert len(document["rows"]) == 4
+        with pytest.raises(ConfigurationError):
+            table.write_csv(tmp_path / "x.csv", layout="diagonal")
+
+    def test_json_nan_becomes_null(self, tmp_path):
+        spec = parse_study("""
+name: sim-nan
+engine: sim
+axes:
+  policy: [sleep]
+fixed:
+  isd_m: 2400.0
+  headway_s: 900.0
+  trains_per_day: 200.0
+  realizations: 1
+""")
+        table = run_study(spec).table
+        document = json.loads(table.write_json(tmp_path / "o.json").read_text())
+        assert document["rows"][0]["mean_w_per_km"] is None
+        assert document["rows"][0]["feasible"] == 0
+
+
+# -- engine adapters ----------------------------------------------------------
+
+
+class TestEngines:
+    def test_registry_covers_four_engines(self):
+        assert set(STUDY_ENGINES) == {"radio", "solar", "mc", "sim"}
+        for adapter in STUDY_ENGINES.values():
+            assert adapter.metrics
+            assert adapter.required <= set(adapter.params)
+
+    def test_radio_matches_scalar_path(self):
+        from repro.corridor.layout import CorridorLayout
+        from repro.radio.link import compute_snr_profile
+
+        spec = parse_study("""
+name: radio-check
+engine: radio
+axes:
+  isd_m: [2200.0]
+fixed:
+  n_repeaters: 6
+  resolution_m: 10.0
+""")
+        row = run_study(spec).table.wide()
+        profile = compute_snr_profile(
+            CorridorLayout.with_uniform_repeaters(2200.0, 6), resolution_m=10.0)
+        assert row["min_snr_db"][0] == profile.min_snr_db
+        assert row["mean_snr_db"][0] == profile.mean_snr_db
+
+    def test_mc_scalar_engine_hatch_identical(self):
+        spec = mc_spec()
+        batched = run_study(spec).table.wide()
+        scalar = run_study(
+            spec.with_overrides(engine="scalar")).table.wide()
+        assert scalar["outage_probability"] == batched["outage_probability"]
+        assert scalar["median_min_snr_db"] == batched["median_min_snr_db"]
+
+    def test_sim_unknown_policy_rejected(self):
+        spec = parse_study("""
+name: sim-bad
+engine: sim
+axes:
+  policy: [warp-drive]
+fixed:
+  isd_m: 2400.0
+  headway_s: 450.0
+  trains_per_day: 76.0
+  realizations: 1
+""")
+        with pytest.raises(ConfigurationError, match="warp-drive"):
+            run_study(spec)
+
+
+# -- parity with the routed experiments ---------------------------------------
+
+
+class TestExperimentParity:
+    def test_sim_grid_routes_through_study(self):
+        result = run_sim_grid(headways=(450.0,), trains_per_day=(76.0, 300.0),
+                              realizations=3)
+        spec = sim_grid_study_spec(headways=(450.0,),
+                                   trains_per_day=(76.0, 300.0),
+                                   realizations=3)
+        table = run_study(spec).table.wide()
+        assert [r.mean_w_per_km for r in result.rows if r.feasible] \
+            == [v for v in table["mean_w_per_km"] if v == v]
+        assert [r.mode.value for r in result.rows] == table["policy"]
+        assert [r.service_hours for r in result.rows] == table["service_hours"]
+
+    def test_robustness_grid_routes_through_study(self):
+        result = run_robustness_grid(trials=10, sigmas=(2.0,),
+                                     decorrelations_m=(50.0,))
+        spec = robustness_grid_study_spec(trials=10, sigmas=(2.0,),
+                                          decorrelations_m=(50.0,))
+        table = run_study(spec).table.wide()
+        assert [r[3] for r in result.rows] == table["outage_probability"]
+        assert [r[2] for r in result.rows] == table["isd_m"]
+
+    def test_robustness_grid_matches_stacked_outage_matrix(self):
+        """Pin the per-case routing against the pre-refactor stacked sweep.
+
+        The old implementation evaluated every ISD candidate in ONE
+        outage_matrix call per (sigma, decorrelation) cell; the study route
+        evaluates one candidate per case.  CRN seeding makes the two
+        bit-identical — this is the regression guard for that property.
+        """
+        from repro.corridor.layout import CorridorLayout
+        from repro.optimize.mc import outage_matrix
+        from repro.propagation.fading import LogNormalShadowing
+        from repro.radio.batch import evaluate_scenarios
+        from repro.scenario.spec import Scenario
+
+        isds = (2000.0, 2200.0, 2400.0)
+        sigmas, decorrs, trials, seed = (2.0, 4.0), (50.0,), 15, 2022
+        routed = run_robustness_grid(isds_m=isds, sigmas=sigmas,
+                                     decorrelations_m=decorrs, trials=trials,
+                                     seed=seed)
+        profiles = evaluate_scenarios(
+            [Scenario(layout=CorridorLayout.with_uniform_repeaters(isd, 8),
+                      resolution_m=10.0) for isd in isds])
+        stacked = []
+        for sigma in sigmas:
+            for decorr in decorrs:
+                matrix = outage_matrix(
+                    profiles, LogNormalShadowing(sigma_db=sigma,
+                                                 decorrelation_m=decorr),
+                    trials=trials, seed=seed)
+                low, high = matrix.ci95()
+                median = matrix.quantile(0.5)
+                for c, isd in enumerate(isds):
+                    stacked.append((sigma, decorr, isd,
+                                    float(matrix.outage_probability[c]),
+                                    float(low[c]), float(high[c]),
+                                    float(median[c])))
+        assert routed.rows == stacked
+
+    def test_table4_grid_series_parity(self):
+        pv, wh = (540.0,), (720.0, 1440.0)
+        series = run_table4_grid(pv_peaks=pv, battery_whs=wh).series()
+        spec = table4_grid_study_spec(pv_peaks=pv, battery_whs=wh)
+        table = run_study(spec, shards=3).table.wide()
+        for column in ("location", "pv_peak_w", "battery_wh", "zero_downtime",
+                       "unmet_hours", "full_battery_days_pct",
+                       "annual_pv_kwh"):
+            assert table[column] == series[column], column
+
+    def test_shipped_yaml_files_load_and_match_helpers(self):
+        by_name = {}
+        for path in sorted(STUDIES_DIR.glob("*.yaml")):
+            spec = load_study(path)
+            by_name[spec.name] = spec
+        assert set(by_name) == {"sim-grid-demand", "robustness-grid",
+                                "table4-grid"}
+        assert by_name["table4-grid"].compute_hash \
+            == table4_grid_study_spec().compute_hash
+        # the YAML mirrors the experiment's axes and defaults exactly: once
+        # adapter defaults are applied, every case resolves identically
+        helper = robustness_grid_study_spec(
+            isds_m=dict(by_name["robustness-grid"].axes)["isd_m"])
+        yaml_spec = by_name["robustness-grid"]
+        assert yaml_spec.axes == helper.axes
+        assert yaml_spec.seed == helper.seed
+        adapter = STUDY_ENGINES["mc"]
+        assert [adapter.resolve(c) for c in yaml_spec.cases()] \
+            == [adapter.resolve(c) for c in helper.cases()]
+
+    def test_shipped_sim_yaml_runs_end_to_end(self):
+        """Acceptance: the (ISD x trains/day x policy) study end to end."""
+        spec = load_study(STUDIES_DIR / "sim_grid.yaml")
+        assert spec.axis_names == ("isd_m", "trains_per_day", "policy")
+        small = replace(
+            spec,
+            axes=(("isd_m", (1800.0, 2400.0)),
+                  ("trains_per_day", (76.0,)),
+                  ("policy", ("continuous", "sleep", "solar"))),
+        ).with_overrides(realizations=2)
+        one = run_study(small, shards=1).table
+        many = run_study(small, shards=5).table
+        assert one.long() == many.long()
+        assert "bias_pct" in one.metric_names
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+class TestStudyCli:
+    def _write(self, tmp_path) -> Path:
+        path = tmp_path / "tiny.yaml"
+        path.write_text(MC_TEXT)
+        return path
+
+    def test_run_smoke_with_outputs(self, tmp_path, capsys):
+        path = self._write(tmp_path)
+        code = main(["study", "run", str(path),
+                     "--csv", str(tmp_path / "out.csv"),
+                     "--json", str(tmp_path / "out.json"),
+                     "--store", str(tmp_path / "store")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mc-tiny" in out
+        assert (tmp_path / "out.csv").exists()
+        assert json.loads((tmp_path / "out.json").read_text())["engine"] == "mc"
+
+    def test_resume_requires_store(self, tmp_path):
+        path = self._write(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["study", "resume", str(path)])
+
+    def test_resume_completes_partial(self, tmp_path, capsys):
+        path = self._write(tmp_path)
+        store = str(tmp_path / "store")
+        code = main(["study", "run", str(path), "--store", store,
+                     "--max-shards", "1", "--shards", "4", "--quiet"])
+        assert code == 3  # partial
+        code = main(["study", "resume", str(path), "--store", store,
+                     "--shards", "4"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "reused from store" in err
+        assert "1 reused, 3 computed" in err
+
+    def test_max_shards_zero_yields_empty_partial_table(self, tmp_path):
+        spec = mc_spec()
+        report = run_study(spec, shards=4, max_shards=0)
+        assert report.partial and report.computed_shards == 0
+        assert len(report.table) == 0
+        assert report.table.long()["case"] == []
+        path = self._write(tmp_path)
+        assert main(["study", "run", str(path), "--max-shards", "0",
+                     "--quiet", "--csv", str(tmp_path / "e.csv")]) == 3
+
+    def test_list(self, capsys):
+        assert main(["study", "list", str(STUDIES_DIR)]) == 0
+        out = capsys.readouterr().out
+        assert "sim_grid.yaml" in out
+        assert "27 cases" in out
+
+    def test_list_empty_dir(self, tmp_path):
+        assert main(["study", "list", str(tmp_path)]) == 1
+
+    def test_bad_study_file(self, tmp_path, capsys):
+        path = tmp_path / "broken.yaml"
+        path.write_text("name: x\nengine: nope\naxes:\n  isd_m: [1.0]\n")
+        assert main(["study", "run", str(path)]) == 2
+        assert "cannot load" in capsys.readouterr().err

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Regenerate (or verify) the generated API reference pages.
+
+Usage::
+
+    PYTHONPATH=src python tools/gen_api_docs.py           # rewrite docs/api/*.md
+    PYTHONPATH=src python tools/gen_api_docs.py --check   # fail on drift (CI)
+
+Thin wrapper around ``repro docs api`` so the workflow mirrors
+``tools/refresh_golden.py`` (the golden-snapshot refresher).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.docs.cli import docs_command  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    args = ["api"]
+    if "--check" in argv:
+        args.append("--check")
+        argv = [a for a in argv if a != "--check"]
+    if argv:
+        print(f"unknown arguments: {argv} (only --check is supported)",
+              file=sys.stderr)
+        return 2
+    return docs_command(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
