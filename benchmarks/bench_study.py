@@ -67,6 +67,9 @@ def bench_study_parallel_speedup(benchmark, bench_json):
         "speedup": speedup,
         "cpus": cpus,
         "threshold": THRESHOLD,
+        # A <4-CPU box cannot demonstrate a 2x pool speedup at all; the
+        # summary tool reports unenforced gates as advisory, not failed.
+        "enforced": cpus >= JOBS,
     })
     # Shared CI runners have noisy neighbours and unstable clocks, so the
     # timing threshold is advisory there (the parity assertion always holds);

@@ -208,6 +208,10 @@ def build_study_parser() -> argparse.ArgumentParser:
         p.add_argument("--cache-dir", metavar="DIR", default=None,
                        help="persist Eq. (2) profiles / weather years under "
                             "DIR, shared by worker processes")
+        p.add_argument("--backend", metavar="NAME", default=None,
+                       help="kernel backend for the stochastic engines "
+                            "(reference | numpy | numba; default: "
+                            "REPRO_BACKEND or the fused numpy kernels)")
         p.add_argument("--quiet", action="store_true",
                        help="suppress the results preview table")
     resume_parser.set_defaults(resume=True)
@@ -267,6 +271,14 @@ def study_main(argv: list[str]) -> int:
     if args.cache_dir is not None:
         context["cache_dir"] = args.cache_dir
     try:
+        from repro.backend import resolve_backend_name
+        resolved_backend = resolve_backend_name(args.backend)
+    except ReproError as exc:
+        print(f"study failed: {exc}", file=sys.stderr)
+        return 1
+    if args.backend is not None:
+        context["backend"] = resolved_backend
+    try:
         report = run_study(spec, jobs=args.jobs, shards=args.shards,
                            store=store, progress=progress,
                            max_shards=args.max_shards, context=context)
@@ -280,7 +292,8 @@ def study_main(argv: list[str]) -> int:
     if args.csv is not None:
         report.table.write_csv(args.csv, layout=args.layout)
     if args.json is not None:
-        report.table.write_json(args.json)
+        report.table.write_json(args.json,
+                                metadata={"backend": resolved_backend})
     return 3 if report.partial else 0
 
 

@@ -1,0 +1,195 @@
+"""Optional numba JIT kernels (the ``"numba"`` backend).
+
+numba is *not* a dependency: the import is guarded and the backend is
+registered unavailable when it is missing, so selecting it produces a
+clear :class:`~repro.errors.ConfigurationError` instead of an
+``ImportError``.  When numba is present (the optional CI leg installs it),
+these kernels run the exact step-loop recurrences as compiled scalar
+loops — the same arithmetic as the reference backend, element by element,
+so results match the reference to float-identical ops (pinned ``<= 1e-9``
+in the parity matrix alongside the numpy backend).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only on the optional numba CI leg
+    from numba import njit
+
+    AVAILABLE = True
+except ImportError:
+    njit = None
+    AVAILABLE = False
+
+__all__ = ["AVAILABLE", "KERNELS"]
+
+if AVAILABLE:  # pragma: no cover - exercised only on the optional numba CI leg
+
+    @njit(cache=True)
+    def _ar1_scan_2d(z, rho, innovation, first_scale, out):
+        rows, p = z.shape
+        for r in range(rows):
+            out[r, 0] = first_scale * z[r, 0]
+            for i in range(1, p):
+                out[r, i] = (rho[i - 1] * out[r, i - 1]
+                             + innovation[i - 1] * z[r, i])
+
+    def ar1_scan(z, rho, innovation, first_scale):
+        """JIT AR(1) scan; contract of :func:`repro.kernels.reference.ar1_scan`."""
+        z = np.ascontiguousarray(np.asarray(z, dtype=float))
+        flat = z.reshape(-1, z.shape[-1])
+        out = np.empty_like(flat)
+        _ar1_scan_2d(flat, np.ascontiguousarray(rho[:z.shape[-1] - 1]),
+                     np.ascontiguousarray(innovation[:z.shape[-1] - 1]),
+                     float(first_scale), out)
+        return out.reshape(z.shape)
+
+    @njit(cache=True)
+    def _ar1_min_scan(snr, rho, innovation, z, first_scale, sizes, mins):
+        n_cand, _ = snr.shape
+        trials = z.shape[0]
+        for c in range(n_cand):
+            pc = sizes[c]
+            for t in range(trials):
+                shadow = first_scale * z[t, 0]
+                best = snr[c, 0] + shadow
+                for i in range(1, pc):
+                    shadow = (rho[c, i - 1] * shadow
+                              + innovation[c, i - 1] * z[t, i])
+                    value = snr[c, i] + shadow
+                    if value < best:
+                        best = value
+                mins[c, t] = best
+
+    def ar1_min_scan(snr, rho, innovation, z, first_scale, sizes):
+        """JIT fused min-scan; contract of :func:`repro.kernels.reference.ar1_min_scan`."""
+        mins = np.empty((snr.shape[0], z.shape[0]))
+        _ar1_min_scan(np.ascontiguousarray(snr), np.ascontiguousarray(rho),
+                      np.ascontiguousarray(innovation),
+                      np.ascontiguousarray(z), float(first_scale),
+                      np.asarray(sizes, dtype=np.int64), mins)
+        return mins
+
+    @njit(cache=True)
+    def _soc_scan(produced, demanded, months, capacity, efficiency, cutoff,
+                  initial_soc, min_soc, full_days, unmet_hours, unmet_wh,
+                  annual_pv_wh, annual_load_wh, monthly_pv_wh, monthly_unmet):
+        days = produced.shape[0]
+        n = produced.shape[2]
+        soc = np.full(n, initial_soc)
+        full_threshold = 1.0 - 1e-9
+        for j in range(n):
+            min_soc[j] = soc[j]
+        for day in range(days):
+            month = months[day]
+            for j in range(n):
+                became_full = False
+                s = soc[j]
+                for hour in range(24):
+                    prod = produced[day, hour, j]
+                    dem = demanded[hour, j]
+                    annual_pv_wh[j] += prod
+                    annual_load_wh[j] += dem
+                    monthly_pv_wh[j, month] += prod
+
+                    deficit = dem - prod
+                    usable = max(0.0, (s - cutoff[j]) * capacity[j])
+                    delivered = min(deficit, usable)
+                    if prod >= dem:
+                        absorbable = ((1.0 - s) * capacity[j]) / efficiency[j]
+                        taken = min(prod - dem, absorbable)
+                        s = min(1.0, s + (taken * efficiency[j]) / capacity[j])
+                    else:
+                        s = s - delivered / capacity[j]
+
+                    if delivered < deficit - 1e-9:
+                        unmet_hours[j] += 1
+                        unmet_wh[j] += deficit - delivered
+                        monthly_unmet[j, month] += 1
+                    if s >= full_threshold:
+                        became_full = True
+                    if s < min_soc[j]:
+                        min_soc[j] = s
+                if became_full:
+                    full_days[j] += 1
+                soc[j] = s
+
+    def soc_scan(produced_w, demanded_w, months, capacity_wh, efficiency,
+                 cutoff, initial_soc):
+        """JIT SoC walk; contract of :func:`repro.kernels.reference.soc_scan`."""
+        n = produced_w.shape[-1]
+        out = {
+            "min_soc": np.empty(n),
+            "full_days": np.zeros(n, dtype=np.int64),
+            "unmet_hours": np.zeros(n, dtype=np.int64),
+            "unmet_wh": np.zeros(n),
+            "annual_pv_wh": np.zeros(n),
+            "annual_load_wh": np.zeros(n),
+            "monthly_pv_wh": np.zeros((n, 12)),
+            "monthly_unmet_hours": np.zeros((n, 12), dtype=np.int64),
+        }
+        _soc_scan(np.ascontiguousarray(produced_w),
+                  np.ascontiguousarray(demanded_w),
+                  np.asarray(months, dtype=np.int64),
+                  np.ascontiguousarray(capacity_wh),
+                  np.ascontiguousarray(efficiency),
+                  np.ascontiguousarray(cutoff), float(initial_soc),
+                  out["min_soc"], out["full_days"], out["unmet_hours"],
+                  out["unmet_wh"], out["annual_pv_wh"],
+                  out["annual_load_wh"], out["monthly_pv_wh"],
+                  out["monthly_unmet_hours"])
+        return out
+
+    @njit(cache=True)
+    def _occupancy_scan(g_a, g_b, first_wake_after, n_groups, transition_s,
+                        horizon_s, awake_time, waking_occ):
+        lanes = g_a.shape[0]
+        for lane in range(lanes):
+            asleep = True
+            alpha = 0.0
+            finish = 0.0
+            awake = 0.0
+            waking = 0.0
+            for k in range(n_groups[lane]):
+                ga = g_a[lane, k]
+                gb = g_b[lane, k]
+                if asleep:
+                    alpha = min(first_wake_after[lane, k], ga)
+                    finish = alpha + transition_s
+                    asleep = False
+                waking += max(0.0, min(gb, finish) - ga)
+                if gb > finish:
+                    awake += gb - alpha
+                    asleep = True
+            if not asleep:
+                awake += horizon_s - alpha
+            else:
+                tail = first_wake_after[lane, n_groups[lane]]
+                if tail < horizon_s:
+                    awake += horizon_s - tail
+            awake_time[lane] = awake
+            waking_occ[lane] = waking
+
+    def occupancy_scan(g_a, g_b, first_wake_after, n_groups, transition_s,
+                       horizon_s):
+        """JIT group walk; contract of :func:`repro.kernels.reference.occupancy_scan`."""
+        lanes = g_a.shape[0]
+        awake_time = np.zeros(lanes)
+        waking_occ = np.zeros(lanes)
+        _occupancy_scan(np.ascontiguousarray(g_a), np.ascontiguousarray(g_b),
+                        np.ascontiguousarray(first_wake_after),
+                        np.asarray(n_groups, dtype=np.int64),
+                        float(transition_s), float(horizon_s), awake_time,
+                        waking_occ)
+        return awake_time, waking_occ
+
+    KERNELS = {
+        "ar1_scan": ar1_scan,
+        "ar1_min_scan": ar1_min_scan,
+        "soc_scan": soc_scan,
+        "occupancy_scan": occupancy_scan,
+    }
+else:
+    #: Empty when numba is missing; the backend registers as unavailable.
+    KERNELS = {}

@@ -24,12 +24,15 @@ below the SNR threshold.  This module batches that question across **every
   SNR is padded with ``+inf`` (never the minimum) and the AR(1) coefficients
   with zeros, so no validity mask is needed in the reduction.
 
-``engine="scalar"`` replays the same trials through
-:meth:`LogNormalShadowing.sample` one (candidate, trial) at a time and is
-trial-for-trial bit-identical to the batched kernel (same generator seeding,
-same draw order, elementwise-identical arithmetic) — asserted in
-``tests/test_mc_engine.py`` and gated at >= 10x speedup in
-``benchmarks/bench_mc_shadowing.py``.
+The scan itself is the :func:`repro.kernels.ar1_min_scan` kernel, selected
+per call via ``backend=`` / ``REPRO_BACKEND``.  ``engine="scalar"`` replays
+the same trials through :meth:`LogNormalShadowing.sample` one (candidate,
+trial) at a time and is trial-for-trial bit-identical to the batched engine
+under ``backend="reference"`` (same generator seeding, same draw order,
+elementwise-identical arithmetic) — asserted in ``tests/test_mc_engine.py``.
+The fused default backend matches within 1e-9 while preserving the CRN
+candidate-independence bitwise; ``benchmarks/bench_backend.py`` gates its
+speedup over the reference kernel.
 """
 
 from __future__ import annotations
@@ -41,6 +44,7 @@ import numpy as np
 
 from repro import constants
 from repro.errors import ConfigurationError
+from repro.kernels import ar1_min_scan
 from repro.propagation.fading import LogNormalShadowing
 
 __all__ = ["OutageMatrix", "outage_matrix", "readonly_array",
@@ -215,15 +219,19 @@ def _outage_matrix_scalar(profiles, shadowing: LogNormalShadowing,
 
 
 def _outage_matrix_batched(profiles, shadowing: LogNormalShadowing,
-                           trials: int, seed: int) -> np.ndarray:
+                           trials: int, seed: int,
+                           backend: str | None = None) -> np.ndarray:
     """Batched kernel: AR(1) over a [candidate, trial] state, running min.
 
     The recurrence mirrors :meth:`LogNormalShadowing.sample_batch` but cannot
     delegate to it: folding the candidate axis into the state (with padding)
     and reducing to a running minimum is what keeps one sequential loop for
     the whole batch and avoids materializing [candidate, trial, position].
-    Both implementations are pinned bit-identical to the scalar ``sample``
-    walk in ``tests/test_mc_engine.py``, so they cannot silently diverge.
+    The scan itself is the :func:`repro.kernels.ar1_min_scan` kernel —
+    ``backend="reference"`` is the historical step loop, pinned
+    bit-identical to the scalar ``sample`` walk in ``tests/test_mc_engine.py``;
+    the fused default matches it within 1e-9 and preserves the CRN
+    candidate-independence property bitwise (prefix-stable scans).
     """
     positions = [np.asarray(p.positions_m, dtype=float) for p in profiles]
     sizes = [pos.size for pos in positions]
@@ -260,12 +268,8 @@ def _outage_matrix_batched(profiles, shadowing: LogNormalShadowing,
     # (seed, trials) so repeated evaluations (grid cells, bisection probes)
     # don't redraw identical normals.
     z = _standard_normal_matrix(seed, trials, p_max)
-    shadow = np.empty((n_cand, trials))
-    shadow[:] = sigma * z[:, 0]
-    mins = snr[:, :1] + shadow
-    for i in range(1, p_max):
-        shadow = rho[:, i - 1:i] * shadow + innovation[:, i - 1:i] * z[:, i]
-        np.minimum(mins, snr[:, i:i + 1] + shadow, out=mins)
+    mins = ar1_min_scan(snr, rho, innovation, z, sigma,
+                        np.asarray(sizes), backend=backend)
     mins.flags.writeable = False
     return mins
 
@@ -275,7 +279,8 @@ def outage_matrix(profiles,
                   threshold_db: float = constants.PEAK_SNR_CRITERION_DB,
                   trials: int = 200,
                   seed: int = 2022,
-                  engine: str = "batched") -> OutageMatrix:
+                  engine: str = "batched",
+                  backend: str | None = None) -> OutageMatrix:
     """Monte-Carlo shadowing outage of many profiles, common random numbers.
 
     Parameters
@@ -287,8 +292,15 @@ def outage_matrix(profiles,
     shadowing:
         The :class:`LogNormalShadowing` overlay (default parameters if None).
     engine:
-        ``"batched"`` (default) or ``"scalar"``; both produce bit-identical
-        matrices, the scalar path is the audit/reference implementation.
+        ``"batched"`` (default) or ``"scalar"``; the scalar path is the
+        audit/reference implementation.  The batched engine under
+        ``backend="reference"`` is bit-identical to it; the fused default
+        backend matches within 1e-9.
+    backend:
+        Kernel backend for the batched engine (``"numpy"``, ``"reference"``
+        or ``"numba"``); ``None`` resolves via the ``REPRO_BACKEND``
+        environment variable and then the ``"numpy"`` default.  Ignored by
+        ``engine="scalar"``.
 
     Each profile sees the same per-trial shadowing streams (CRN), so
     cross-profile comparisons — outage-vs-ISD curves, bisection over the
@@ -315,7 +327,8 @@ def outage_matrix(profiles,
     if engine == "scalar":
         mins = _outage_matrix_scalar(profiles, shadowing, trials, seed)
     elif engine == "batched":
-        mins = _outage_matrix_batched(profiles, shadowing, trials, seed)
+        mins = _outage_matrix_batched(profiles, shadowing, trials, seed,
+                                      backend=backend)
     else:
         raise ConfigurationError(
             f"unknown engine {engine!r}; expected 'batched' or 'scalar'")

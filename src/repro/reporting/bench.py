@@ -1,0 +1,115 @@
+"""Merge per-benchmark ``BENCH_<name>.json`` records into one summary.
+
+The benchmark suite emits one small JSON document per speedup gate when
+``BENCH_JSON_DIR`` is set (see ``benchmarks/conftest.py``).  CI uploads the
+directory as an artifact; this module folds the individual records into a
+single deterministic ``BENCH_summary.json`` — payloads keyed by benchmark
+name plus a flat table of every ``(speedup, threshold)`` gate found anywhere
+in the records — so one file answers "did every gate clear, and by how
+much?" across PRs.
+
+The summary is a pure function of the input records: keys are sorted, no
+timestamps or host details are added, and re-running on the same directory
+writes byte-identical output.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SUMMARY_NAME", "collect_records", "merge_records",
+           "summarize_directory"]
+
+#: File name of the merged document (skipped when re-collecting).
+SUMMARY_NAME = "BENCH_summary.json"
+
+
+def collect_records(directory: str | Path) -> dict[str, dict]:
+    """Load every ``BENCH_<name>.json`` record under ``directory``.
+
+    Args:
+        directory: Directory the benchmark run pointed ``BENCH_JSON_DIR`` at.
+
+    Returns:
+        Mapping of benchmark name (the ``<name>`` part) to its parsed
+        payload, sorted by name.  A previous summary file is ignored.
+
+    Raises:
+        ConfigurationError: When the directory is missing, holds no records,
+            or a record is not valid JSON.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ConfigurationError(f"no such benchmark directory: {directory}")
+    records: dict[str, dict] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        if path.name == SUMMARY_NAME:
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except ValueError as exc:
+            raise ConfigurationError(f"invalid benchmark record {path}: {exc}")
+        records[path.stem[len("BENCH_"):]] = payload
+    if not records:
+        raise ConfigurationError(
+            f"no BENCH_*.json records under {directory} (run the benchmark "
+            "suite with BENCH_JSON_DIR set)")
+    return records
+
+
+def _walk_gates(name: str, node, path: tuple[str, ...], gates: list[dict]):
+    if not isinstance(node, dict):
+        return
+    if "speedup" in node and "threshold" in node:
+        gates.append({
+            "benchmark": name,
+            "gate": ".".join(path) if path else name,
+            "speedup": node["speedup"],
+            "threshold": node["threshold"],
+            # Gates a record marks unenforced (e.g. a pool speedup on a
+            # too-small machine) are advisory: reported, never failed.
+            "enforced": bool(node.get("enforced", True)),
+            "passed": bool(node["speedup"] >= node["threshold"]
+                           or not node.get("enforced", True)),
+        })
+    for key in sorted(node):
+        _walk_gates(name, node[key], path + (key,), gates)
+
+
+def merge_records(records: dict[str, dict]) -> dict:
+    """Fold benchmark records into the summary document.
+
+    Args:
+        records: Output of :func:`collect_records`.
+
+    Returns:
+        The summary: ``{"benchmarks": records, "gates": [...]}`` with one
+        gate row per ``(speedup, threshold)`` pair found at any nesting
+        depth, ordered by benchmark name then gate path.
+    """
+    gates: list[dict] = []
+    for name in sorted(records):
+        _walk_gates(name, records[name], (), gates)
+    return {"benchmarks": dict(sorted(records.items())), "gates": gates}
+
+
+def summarize_directory(directory: str | Path,
+                        output: str | Path | None = None) -> Path:
+    """Write the merged summary for one benchmark-artifact directory.
+
+    Args:
+        directory: Directory holding the ``BENCH_*.json`` records.
+        output: Target file; default ``directory / BENCH_summary.json``.
+
+    Returns:
+        The path written.  Output is deterministic (sorted keys, trailing
+        newline) so identical records always produce identical bytes.
+    """
+    summary = merge_records(collect_records(directory))
+    path = Path(output) if output is not None else Path(directory) / SUMMARY_NAME
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    return path

@@ -54,6 +54,7 @@ from repro.corridor.layout import CorridorLayout
 from repro.energy.duty import EnergyParams
 from repro.energy.scenario import OperatingMode
 from repro.errors import ConfigurationError
+from repro.kernels import occupancy_scan
 from repro.optimize.mc import readonly_array
 from repro.simulation.elements import ElementSpec, corridor_elements
 from repro.traffic.timetable import Timetable, day_timetables, generate_timetable
@@ -195,7 +196,7 @@ def _run_tensors(timetables: tuple[Timetable, ...]):
 def _simulate_batch(specs: tuple[ElementSpec, ...],
                     timetables: tuple[Timetable, ...],
                     seg_m: float, horizon_s: float, transition_s: float,
-                    wake_lead_m: float):
+                    wake_lead_m: float, backend: str | None = None):
     n_real, n_elem = len(timetables), len(specs)
     t0, speed, length, direction, valid = _run_tensors(timetables)
     n_runs = t0.shape[1]
@@ -269,34 +270,15 @@ def _simulate_batch(specs: tuple[ElementSpec, ...],
     wk_ext = np.concatenate([wk, np.full((lanes, 1), np.inf)], axis=1)
     first_wake_after = np.take_along_axis(wk_ext, count_le, axis=1)
 
-    # Sequential scan over occupancy groups (the only loop): track the open
-    # wake cycle per lane.  A cycle opens at min(next wake, group start),
+    # Sequential scan over occupancy groups (the only loop), delegated to
+    # the :func:`repro.kernels.occupancy_scan` kernel: track the open wake
+    # cycle per lane.  A cycle opens at min(next wake, group start),
     # finishes waking transition_s later, and closes at the first group end
     # strictly after the finish (the unit stays awake through group ends that
     # land inside the transition — the event engine's "missed sleep" case).
-    asleep = np.ones(lanes, dtype=bool)
-    alpha = np.zeros(lanes)
-    finish = np.zeros(lanes)
-    awake_time = np.zeros(lanes)
-    waking_occ = np.zeros(lanes)
-    for k in range(int(n_groups.max()) if n_groups.size else 0):
-        ga, gb = g_a[:, k], g_b[:, k]
-        active = ga < np.inf
-        starting = active & asleep
-        alpha = np.where(starting, np.minimum(first_wake_after[:, k], ga), alpha)
-        finish = np.where(starting, alpha + transition_s, finish)
-        asleep &= ~starting
-        waking_occ += np.where(
-            active, np.maximum(0.0, np.minimum(gb, finish) - ga), 0.0)
-        sleeps = active & (gb > finish)
-        awake_time += np.where(sleeps, gb - alpha, 0.0)
-        asleep |= sleeps
-    awake_time += np.where(~asleep, horizon_s - alpha, 0.0)
-    # Tail: a barrier may fire after the last sleep for a run whose section
-    # entry lies beyond the horizon — the unit wakes and idles until the end.
-    tail_wake = np.take_along_axis(first_wake_after, n_groups[:, None], axis=1)[:, 0]
-    awake_time += np.where(asleep & (tail_wake < horizon_s),
-                           horizon_s - tail_wake, 0.0)
+    awake_time, waking_occ = occupancy_scan(
+        g_a, g_b, first_wake_after, n_groups, transition_s, horizon_s,
+        backend=backend)
 
     capable = np.array([s.sleep_capable for s in specs])
     capable_l = np.broadcast_to(capable[None, :], (n_real, n_elem)).reshape(lanes)
@@ -393,7 +375,8 @@ def simulate_days(layout: CorridorLayout,
                   days: float = 1.0,
                   transition_s: float = constants.SLEEP_TRANSITION_S,
                   wake_lead_m: float = 50.0,
-                  engine: str = "batch") -> DayBatchResult:
+                  engine: str = "batch",
+                  backend: str | None = None) -> DayBatchResult:
     """Simulate a fleet of corridor days and integrate per-element energy.
 
     Either pass explicit ``timetables`` (one per realization, sharing one
@@ -423,6 +406,9 @@ def simulate_days(layout: CorridorLayout,
         transition_s: Sleep/wake transition time [s].
         wake_lead_m: Wake-up lead distance ahead of an approaching train [m].
         engine: ``"batch"`` (default) or the ``"event"`` escape hatch.
+        backend: Kernel backend for the batch engine's group scan
+            (``None`` resolves via ``REPRO_BACKEND``); ignored by
+            ``engine="event"``.
 
     Returns:
         The :class:`DayBatchResult` with read-only ``[realization, element]``
@@ -446,10 +432,14 @@ def simulate_days(layout: CorridorLayout,
     specs = corridor_elements(layout, mode, params)
     horizon = resolved[0].horizon_s
 
-    kernel = _simulate_batch if engine == "batch" else _simulate_event
-    active_s, awake_s, energy_wh, events = kernel(
-        specs, resolved, layout.isd_m, horizon,
-        float(transition_s), float(wake_lead_m))
+    if engine == "batch":
+        active_s, awake_s, energy_wh, events = _simulate_batch(
+            specs, resolved, layout.isd_m, horizon,
+            float(transition_s), float(wake_lead_m), backend=backend)
+    else:
+        active_s, awake_s, energy_wh, events = _simulate_event(
+            specs, resolved, layout.isd_m, horizon,
+            float(transition_s), float(wake_lead_m))
 
     return DayBatchResult(
         layout=layout, mode=mode, horizon_s=horizon,

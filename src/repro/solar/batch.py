@@ -31,6 +31,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.kernels import soc_scan
 from repro.scenario.cache import ArrayCache
 from repro.scenario.spec import content_token
 from repro.solar.battery import Battery
@@ -204,16 +205,21 @@ def simulate_systems(systems,
                      days: int = 365,
                      initial_soc: float = 1.0,
                      start_day_of_year: int | None = None,
-                     weather_cache: WeatherCache | None = None) -> list[OffGridResult]:
+                     weather_cache: WeatherCache | None = None,
+                     backend: str | None = None) -> list[OffGridResult]:
     """Batched hourly energy balance over every system at once.
 
     Weather is synthesized once per unique :class:`WeatherKey` (memoized
-    through ``weather_cache``); the battery recurrence then advances all
-    systems one hour per step with numpy element-wise operations whose order
-    matches :meth:`~repro.solar.offgrid.OffGridSystem.simulate_year`
-    exactly, so the returned results are bit-identical to the scalar path —
-    ``system.simulate_year(days)`` is the per-system escape hatch / audit
-    path, pinned equal in ``tests/test_engine_parity.py``.
+    through ``weather_cache``); the battery clip-recurrence then runs
+    through the :func:`repro.kernels.soc_scan` kernel — a single flattened
+    hour-major walk whose element-wise operation order matches
+    :meth:`~repro.solar.offgrid.OffGridSystem.simulate_year` exactly, so
+    the returned results are bit-identical to the scalar path under both
+    the ``"reference"`` and the fused ``"numpy"`` backend (the fused walk
+    hoists all accounting out of the loop but reproduces the reference
+    accumulation order bitwise) — ``system.simulate_year(days)`` is the
+    per-system escape hatch / audit path, pinned equal in
+    ``tests/test_engine_parity.py``.
 
     Args:
         systems: Sequence of :class:`~repro.solar.offgrid.OffGridSystem`;
@@ -222,7 +228,11 @@ def simulate_systems(systems,
         initial_soc: Battery state of charge at the first hour, in [0, 1].
         start_day_of_year: First day of year; ``None`` uses the Oct-1
             default that puts one continuous winter mid-simulation.
-        weather_cache: Optional memo of synthesized weather tensors.
+        weather_cache: Optional memo of synthesized weather tensors
+            (weather is backend-independent to 1e-9; cached tensors are
+            keyed by content, not by backend).
+        backend: Kernel backend; ``None`` resolves via ``REPRO_BACKEND``
+            and then the ``"numpy"`` default.
 
     Returns:
         One :class:`~repro.solar.offgrid.OffGridResult` per system, in input
@@ -263,53 +273,9 @@ def simulate_systems(systems,
     capacity = np.array([s.battery.capacity_wh for s in systems])
     efficiency = np.array([s.battery.charge_efficiency for s in systems])
     cutoff = np.array([s.battery.discharge_cutoff for s in systems])
-    full_threshold = 1.0 - 1e-9
 
-    soc = np.full(n, float(initial_soc))
-    min_soc = soc.copy()
-    full_days = np.zeros(n, dtype=int)
-    unmet_hours = np.zeros(n, dtype=int)
-    unmet_wh = np.zeros(n)
-    annual_pv_wh = np.zeros(n)
-    annual_load_wh = np.zeros(n)
-    monthly_pv_wh = np.zeros((n, 12))
-    monthly_unmet = np.zeros((n, 12), dtype=int)
-
-    for day in range(days):
-        month = int(months[day])
-        became_full = np.zeros(n, dtype=bool)
-        day_power = produced_w[day]
-        for hour in range(24):
-            produced = day_power[hour]
-            demanded = demanded_w[hour]
-            annual_pv_wh += produced
-            annual_load_wh += demanded
-            monthly_pv_wh[:, month] += produced
-
-            # Both branches of the scalar if/else, merged element-wise.
-            charging = produced >= demanded
-            surplus = produced - demanded
-            absorbable_in = ((1.0 - soc) * capacity) / efficiency
-            taken = np.minimum(surplus, absorbable_in)
-            soc_charged = np.minimum(1.0, soc + (taken * efficiency) / capacity)
-
-            deficit = demanded - produced
-            usable = np.maximum(0.0, (soc - cutoff) * capacity)
-            delivered = np.minimum(deficit, usable)
-            soc_discharged = soc - delivered / capacity
-
-            soc = np.where(charging, soc_charged, soc_discharged)
-
-            # On the charge branch delivered == deficit, so the unmet test is
-            # automatically false there — no extra masking needed.
-            unmet = delivered < deficit - 1e-9
-            unmet_hours += unmet
-            unmet_wh += np.where(unmet, deficit - delivered, 0.0)
-            monthly_unmet[:, month] += unmet
-
-            became_full |= soc >= full_threshold
-            np.minimum(min_soc, soc, out=min_soc)
-        full_days += became_full
+    acc = soc_scan(produced_w, demanded_w, months, capacity, efficiency,
+                   cutoff, float(initial_soc), backend=backend)
 
     return [
         OffGridResult(
@@ -317,14 +283,15 @@ def simulate_systems(systems,
             pv_peak_w=system.pv.peak_w,
             battery_capacity_wh=system.battery.capacity_wh,
             days=days,
-            full_battery_days=int(full_days[i]),
-            unmet_hours=int(unmet_hours[i]),
-            unmet_wh=float(unmet_wh[i]),
-            min_soc=float(min_soc[i]),
-            annual_pv_kwh=float(annual_pv_wh[i] / 1000.0),
-            annual_load_kwh=float(annual_load_wh[i] / 1000.0),
-            monthly_pv_kwh=tuple(monthly_pv_wh[i] / 1000.0),
-            monthly_unmet_hours=tuple(int(x) for x in monthly_unmet[i]),
+            full_battery_days=int(acc["full_days"][i]),
+            unmet_hours=int(acc["unmet_hours"][i]),
+            unmet_wh=float(acc["unmet_wh"][i]),
+            min_soc=float(acc["min_soc"][i]),
+            annual_pv_kwh=float(acc["annual_pv_wh"][i] / 1000.0),
+            annual_load_kwh=float(acc["annual_load_wh"][i] / 1000.0),
+            monthly_pv_kwh=tuple(acc["monthly_pv_wh"][i] / 1000.0),
+            monthly_unmet_hours=tuple(
+                int(x) for x in acc["monthly_unmet_hours"][i]),
         )
         for i, system in enumerate(systems)
     ]
@@ -336,7 +303,8 @@ def simulate_candidates(location: Location,
                         weather: WeatherParams | None = None,
                         seed: int = 2022,
                         performance_ratio: float = 0.80,
-                        weather_cache: WeatherCache | None = None) -> list[OffGridResult]:
+                        weather_cache: WeatherCache | None = None,
+                        backend: str | None = None) -> list[OffGridResult]:
     """Evaluate a whole (PV peak, battery Wh) candidate ladder in one pass.
 
     Args:
@@ -348,6 +316,7 @@ def simulate_candidates(location: Location,
         seed: Weather-year seed shared by every candidate.
         performance_ratio: PV performance ratio.
         weather_cache: Optional memo of synthesized weather tensors.
+        backend: Kernel backend forwarded to :func:`simulate_systems`.
 
     Returns:
         One :class:`~repro.solar.offgrid.OffGridResult` per candidate, in
@@ -365,4 +334,5 @@ def simulate_candidates(location: Location,
         )
         for pv_peak_w, battery_wh in candidates
     ]
-    return simulate_systems(systems, weather_cache=weather_cache)
+    return simulate_systems(systems, weather_cache=weather_cache,
+                            backend=backend)

@@ -208,7 +208,8 @@ def _run_solar(cases: list[dict], seeds: list[int], context: dict) -> list[dict]
                 rows[i] = row
         return rows
     results = simulate_systems(systems, days=days.pop(),
-                               weather_cache=_context_weather_cache(context))
+                               weather_cache=_context_weather_cache(context),
+                               backend=context.get("backend"))
     return [{
         "zero_downtime": int(r.zero_downtime),
         "unmet_hours": r.unmet_hours,
@@ -238,7 +239,8 @@ def _run_mc(cases: list[dict], seeds: list[int], context: dict) -> list[dict]:
         matrix = outage_matrix([profile], shadowing,
                                threshold_db=float(case["threshold_db"]),
                                trials=int(case["trials"]), seed=seed,
-                               engine=str(case["engine"]))
+                               engine=str(case["engine"]),
+                               backend=context.get("backend"))
         ci_low, ci_high = matrix.ci95()
         rows.append({
             "outage_probability": float(matrix.outage_probability[0]),
@@ -317,7 +319,8 @@ def _run_sim(cases: list[dict], seeds: list[int], context: dict) -> list[dict]:
                             timetables=timetables,
                             transition_s=float(case["transition_s"]),
                             wake_lead_m=float(case["wake_lead_m"]),
-                            engine=str(case["engine"]))
+                            engine=str(case["engine"]),
+                            backend=context.get("backend"))
         ci_low, ci_high = sim.ci95_w_per_km()
         rows.append({
             "service_hours": service_hours, "feasible": 1,
@@ -426,8 +429,10 @@ def run_cases(engine: str, cases: list[dict], seeds: list[int],
             adapter defaults are applied here).
         seeds: Engine seed per case, aligned with ``cases``.
         context: Optional shared state — ``profile_cache``, ``weather_cache``
-            (both fall back to per-process module caches) and ``jobs`` (radio
-            thread sharding).
+            (both fall back to per-process module caches), ``jobs`` (radio
+            thread sharding), and ``backend`` (kernel backend name forwarded
+            to the stochastic engines; ``None`` resolves via
+            ``REPRO_BACKEND``).
 
     Returns:
         One ``{metric: value}`` dict per case, aligned with ``cases``, with

@@ -116,11 +116,12 @@ class StudyTable:
         raise ConfigurationError(
             f"unknown CSV layout {layout!r}; expected 'long' or 'wide'")
 
-    def write_json(self, path: str | Path) -> Path:
+    def write_json(self, path: str | Path, metadata: dict | None = None) -> Path:
         """Write a JSON provenance document (study id + wide records).
 
         NaN cells (infeasible cases) are serialized as ``null`` so the output
-        is strict JSON.
+        is strict JSON.  ``metadata`` (e.g. the resolved kernel backend)
+        is embedded verbatim under a ``"metadata"`` key when given.
         """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -135,6 +136,8 @@ class StudyTable:
             "metrics": list(self.metric_names),
             "rows": rows,
         }
+        if metadata:
+            document["metadata"] = dict(metadata)
         path.write_text(json.dumps(document, indent=2) + "\n")
         return path
 

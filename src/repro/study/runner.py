@@ -86,7 +86,7 @@ def _run_shard(payload: tuple[StudySpec, int, int, dict]) -> tuple[int, ShardTab
 
 #: Context keys that are plain data and may cross a process boundary; live
 #: cache objects (``profile_cache``, ``weather_cache``) stay inline-only.
-_PICKLABLE_CONTEXT_KEYS = ("cache_dir", "jobs")
+_PICKLABLE_CONTEXT_KEYS = ("cache_dir", "jobs", "backend")
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,115 @@
+"""Tests for the benchmark-artifact summarizer (repro.reporting.bench).
+
+The summarizer folds the per-gate ``BENCH_*.json`` records the benchmark
+suite emits into one deterministic ``BENCH_summary.json``; CI runs it via
+``tools/bench_summary.py`` before uploading the artifact directory.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting.bench import (
+    SUMMARY_NAME,
+    collect_records,
+    merge_records,
+    summarize_directory,
+)
+
+
+def _write(directory, name, payload):
+    (directory / f"BENCH_{name}.json").write_text(json.dumps(payload))
+
+
+@pytest.fixture
+def bench_dir(tmp_path):
+    _write(tmp_path, "mc", {
+        "grid": {"candidates": 20, "trials": 500},
+        "scalar_s": 2.0, "batched_s": 0.1,
+        "speedup": 20.0, "threshold": 10.0,
+    })
+    _write(tmp_path, "backend", {
+        "mc": {"reference_s": 0.15, "fused_s": 0.05,
+               "speedup": 3.0, "threshold": 3.0},
+    })
+    return tmp_path
+
+
+class TestCollect:
+    def test_reads_all_records_and_skips_summary(self, bench_dir):
+        (bench_dir / SUMMARY_NAME).write_text("{}")
+        records = collect_records(bench_dir)
+        assert sorted(records) == ["backend", "mc"]
+        assert records["mc"]["speedup"] == 20.0
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no such"):
+            collect_records(tmp_path / "nope")
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no BENCH_"):
+            collect_records(tmp_path)
+
+    def test_corrupt_record_rejected(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text("not json")
+        with pytest.raises(ConfigurationError, match="invalid"):
+            collect_records(tmp_path)
+
+
+class TestMerge:
+    def test_gates_found_at_any_depth(self, bench_dir):
+        summary = merge_records(collect_records(bench_dir))
+        rows = [(g["benchmark"], g["gate"], g["speedup"], g["passed"])
+                for g in summary["gates"]]
+        assert rows == [
+            ("backend", "mc", 3.0, True),   # nested one level down
+            ("mc", "mc", 20.0, True),       # top-level record
+        ]
+
+    def test_failed_gate_flagged(self, tmp_path):
+        _write(tmp_path, "slow", {"speedup": 1.2, "threshold": 2.0})
+        summary = merge_records(collect_records(tmp_path))
+        gate, = summary["gates"]
+        assert gate["passed"] is False
+        assert gate["enforced"] is True
+
+    def test_unenforced_gate_is_advisory(self, tmp_path):
+        # e.g. the pool-speedup gate on a machine too small to show it.
+        _write(tmp_path, "pool", {"speedup": 0.7, "threshold": 2.0,
+                                  "enforced": False})
+        gate, = merge_records(collect_records(tmp_path))["gates"]
+        assert gate["enforced"] is False
+        assert gate["passed"] is True
+
+
+class TestSummarize:
+    def test_deterministic_bytes(self, bench_dir):
+        first = summarize_directory(bench_dir).read_bytes()
+        second = summarize_directory(bench_dir).read_bytes()
+        assert first == second
+        document = json.loads(first)
+        assert sorted(document["benchmarks"]) == ["backend", "mc"]
+        assert all(g["passed"] for g in document["gates"])
+
+    def test_explicit_output_path(self, bench_dir, tmp_path):
+        out = tmp_path / "deep" / "sum.json"
+        assert summarize_directory(bench_dir, output=out) == out
+        assert out.exists()
+
+    def test_cli_wrapper_exit_codes(self, bench_dir, tmp_path, capsys):
+        import importlib.util
+        from pathlib import Path
+
+        spec = importlib.util.spec_from_file_location(
+            "bench_summary",
+            Path(__file__).resolve().parents[1] / "tools" / "bench_summary.py")
+        cli = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(cli)
+
+        assert cli.main([str(bench_dir)]) == 0
+        assert "[ok]" in capsys.readouterr().out
+        _write(bench_dir, "slow", {"speedup": 1.0, "threshold": 2.0})
+        assert cli.main([str(bench_dir)]) == 1
+        assert "[FAIL]" in capsys.readouterr().out
+        assert cli.main([str(tmp_path / "missing")]) == 2

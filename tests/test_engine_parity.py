@@ -12,10 +12,16 @@ sweep:
   result fields per weather seed);
 * **mc**     — :func:`repro.optimize.mc.outage_matrix` batched vs.
   ``engine="scalar"`` (trial-for-trial bit-identical under common random
-  numbers);
+  numbers with ``backend="reference"``; fused backends pinned <= 1e-9);
 * **sim**    — :func:`repro.simulation.batch.simulate_days` batch vs.
   ``engine="event"`` (equal to 1e-9: both engines see bit-identical event
   instants and differ only by float summation order).
+
+Every stochastic comparison also sweeps the kernel-backend axis
+(:func:`repro.backend.available_backends`): the solar engine is
+bit-identical on *every* backend, the mc engine is bit-identical on
+``"reference"`` and pinned to <= 1e-9 on the fused backends, and the sim
+engine's batch/event agreement holds per backend.
 
 It replaces the per-PR ad-hoc equality tests that previously lived in
 ``test_batch.py`` / ``test_solar_batch.py`` / ``test_mc_engine.py``;
@@ -27,6 +33,8 @@ import dataclasses
 
 import numpy as np
 import pytest
+
+from repro.backend import available_backends
 
 from repro.corridor.layout import CorridorLayout
 from repro.energy.duty import EnergyParams
@@ -84,12 +92,31 @@ class TestSolarParity:
                           battery=Battery(capacity_wh=wh), seed=seed)
             for pv, wh in ((360.0, 720.0), (540.0, 720.0), (600.0, 1440.0))
         ]
-        batched = simulate_systems(systems, start_day_of_year=274,
-                                   weather_cache=WeatherCache())
-        for system, result in zip(systems, batched):
-            scalar = system.simulate_year(start_day_of_year=274)
-            for name in self.FIELDS:
-                assert getattr(result, name) == getattr(scalar, name), name
+        cache = WeatherCache()
+        scalars = [system.simulate_year(start_day_of_year=274)
+                   for system in systems]
+        # The reference backend replays the scalar walk bitwise; fused
+        # backends run the SoC-space formulation, so their SoC-dependent
+        # floats are pinned at 1e-9 while integer counts, metadata, and
+        # the hour-order PV sums stay exact.
+        soc_dependent = {"unmet_wh", "min_soc", "annual_load_kwh"}
+        for backend in available_backends():
+            batched = simulate_systems(systems, start_day_of_year=274,
+                                       weather_cache=cache, backend=backend)
+            for scalar, result in zip(scalars, batched):
+                for name in self.FIELDS:
+                    got, want = getattr(result, name), getattr(scalar, name)
+                    if backend != "reference" and name in soc_dependent:
+                        np.testing.assert_allclose(
+                            got, want, rtol=1e-9, atol=1e-9,
+                            err_msg=f"{backend}:{name}")
+                    else:
+                        assert got == want, f"{backend}:{name}"
+
+        reference = simulate_systems(systems, start_day_of_year=274,
+                                     weather_cache=cache, backend="reference")
+        for scalar, result in zip(scalars, reference):
+            assert result == scalar
 
 
 # --- mc: batched shadowing trials vs. scalar replay -------------------------------
@@ -108,20 +135,36 @@ class TestMcParity:
     def test_ragged_grid_bit_identical(self, seed):
         profiles = _mc_profiles()
         shadowing = LogNormalShadowing(sigma_db=4.0)
-        batched = outage_matrix(profiles, shadowing, trials=40, seed=seed)
         scalar = outage_matrix(profiles, shadowing, trials=40, seed=seed,
                                engine="scalar")
-        assert np.array_equal(batched.min_snr_db, scalar.min_snr_db)
-        assert np.array_equal(batched.outage_counts, scalar.outage_counts)
+        reference = outage_matrix(profiles, shadowing, trials=40, seed=seed,
+                                  backend="reference")
+        assert np.array_equal(reference.min_snr_db, scalar.min_snr_db)
+        assert np.array_equal(reference.outage_counts, scalar.outage_counts)
+        for backend in available_backends():
+            batched = outage_matrix(profiles, shadowing, trials=40,
+                                    seed=seed, backend=backend)
+            np.testing.assert_allclose(batched.min_snr_db, scalar.min_snr_db,
+                                       rtol=0.0, atol=1e-9,
+                                       err_msg=backend)
+            assert np.array_equal(batched.outage_counts,
+                                  scalar.outage_counts), backend
 
     @pytest.mark.parametrize("seed", SEEDS)
     def test_trial_streams_shared_across_engines(self, seed):
         # Both engines consume the same per-trial generator prefix.
         model = LogNormalShadowing(sigma_db=3.0, decorrelation_m=30.0)
         pos = np.array([0.0, 4.0, 5.0, 50.0, 51.0, 300.0, 1000.0])
-        batch = model.sample_batch(pos, trial_generators(seed, 16))
-        for t, rng in enumerate(trial_generators(seed, 16)):
-            assert np.array_equal(batch[t], model.sample(pos, rng))
+        scalar = np.stack([model.sample(pos, rng)
+                           for rng in trial_generators(seed, 16)])
+        reference = model.sample_batch(pos, trial_generators(seed, 16),
+                                       backend="reference")
+        assert np.array_equal(reference, scalar)
+        for backend in available_backends():
+            batch = model.sample_batch(pos, trial_generators(seed, 16),
+                                       backend=backend)
+            np.testing.assert_allclose(batch, scalar, rtol=0.0, atol=1e-9,
+                                       err_msg=backend)
 
 
 # --- sim: batched interval algebra vs. the event queue ----------------------------
@@ -196,3 +239,18 @@ class TestSimParity:
         params = EnergyParams(traffic=TrafficParams(trains_per_hour=60.0))
         assert_sim_engines_agree(layout=self.LAYOUT, params=params,
                                  stochastic=True, realizations=2, seed=1)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_backends_bit_identical(self, seed):
+        # The group-scan kernel sees bit-identical inputs on every backend
+        # and performs the same per-lane walk, so the batch engine's output
+        # must not depend on the backend at all.
+        default = simulate_days(layout=self.LAYOUT, stochastic=True,
+                                realizations=3, seed=seed)
+        for backend in available_backends():
+            other = simulate_days(layout=self.LAYOUT, stochastic=True,
+                                  realizations=3, seed=seed, backend=backend)
+            for name in ("active_s", "awake_s", "energy_wh"):
+                assert np.array_equal(getattr(default, name),
+                                      getattr(other, name)), \
+                    f"{backend}:{name}"

@@ -1,0 +1,344 @@
+"""Kernel property suite — fused backends vs. the reference step loops.
+
+The parity matrix (``test_engine_parity.py``) compares whole engines; this
+module attacks the kernels directly on adversarial inputs the engines never
+quite produce in one run:
+
+* chunk-boundary edges of the blocked AR(1) scan (``p`` below / exactly at /
+  just past the chunk-length cap, ``p == 1``),
+* irregular grids and zero spacings (``rho == 1`` / ``innovation == 0``),
+* coefficient underflow forcing mid-block subdivision,
+* bitwise prefix stability (the common-random-numbers contract),
+* alone-vs-joint candidate grouping in the fused min-scan,
+* the hour-order summation helpers behind the fused SoC walk,
+* the backend registry itself (resolution order, duplicate registration,
+  unavailable backends).
+
+Reference-vs-fused tolerances: ``ar1_scan`` / ``ar1_min_scan`` are pinned to
+1e-12 (far inside the engines' 1e-9 budget); ``soc_scan`` pins the PV sums
+and integer counts exactly and the SoC-dependent floats at 1e-12 (the fused
+walk runs in SoC units); ``occupancy_scan`` is the identical function object
+on both backends.
+"""
+
+import numpy as np
+import pytest
+
+import repro.backend as backend_mod
+from repro.backend import (BACKEND_ENV_VAR, Backend, available_backends,
+                           get_backend, register_backend,
+                           registered_backends, resolve_backend_name)
+from repro.errors import ConfigurationError
+from repro.kernels import (KERNEL_NAMES, ar1_min_scan, ar1_scan,
+                           occupancy_scan, soc_scan)
+from repro.kernels import numpy_fused, reference
+from repro.kernels.numpy_fused import _hour_order_sum, _monthly_sums
+from repro.propagation.fading import LogNormalShadowing
+
+
+def _uniform_coeffs(p, rho=0.9, sigma=1.0):
+    steps = max(p - 1, 1)
+    innovation = sigma * np.sqrt(1.0 - rho * rho)
+    return np.full(steps, rho), np.full(steps, innovation)
+
+
+class TestAr1Scan:
+    """Blocked prefix-product scan vs. the step loop."""
+
+    @pytest.mark.parametrize("p", [1, 2, 63, 200, numpy_fused._BLOCK - 1,
+                                   numpy_fused._BLOCK, numpy_fused._BLOCK + 1])
+    def test_uniform_grid_chunk_edges(self, p):
+        # p below / at / past the chunk-length cap, plus small sizes.
+        rng = np.random.default_rng(p)
+        z = rng.standard_normal((5, p))
+        rho, innovation = _uniform_coeffs(p)
+        fused = numpy_fused.ar1_scan(z, rho, innovation, 1.0)
+        ref = reference.ar1_scan(z, rho, innovation, 1.0)
+        np.testing.assert_allclose(fused, ref, rtol=0.0, atol=1e-12)
+
+    def test_irregular_grid(self):
+        rng = np.random.default_rng(3)
+        p = 173
+        rho = rng.uniform(0.0, 0.999, p - 1)
+        innovation = np.sqrt(1.0 - rho * rho)
+        z = rng.standard_normal((4, p))
+        fused = numpy_fused.ar1_scan(z, rho, innovation, 1.0)
+        ref = reference.ar1_scan(z, rho, innovation, 1.0)
+        np.testing.assert_allclose(fused, ref, rtol=0.0, atol=1e-12)
+
+    def test_zero_spacing_steps(self):
+        # rho == 1, innovation == 0 mid-series: the sample repeats exactly.
+        p = 90
+        rho, innovation = _uniform_coeffs(p, rho=0.8)
+        rho[40], innovation[40] = 1.0, 0.0
+        rho[63], innovation[63] = 1.0, 0.0
+        z = np.random.default_rng(8).standard_normal((3, p))
+        fused = numpy_fused.ar1_scan(z, rho, innovation, 1.0)
+        ref = reference.ar1_scan(z, rho, innovation, 1.0)
+        assert np.array_equal(fused[:, 41], fused[:, 40])
+        assert np.array_equal(fused[:, 64], fused[:, 63])
+        np.testing.assert_allclose(fused, ref, rtol=0.0, atol=1e-12)
+
+    def test_decorrelated_steps(self):
+        # rho == 0 resets the recurrence; the scan must cut the chunk there
+        # rather than divide by a zero prefix product.
+        p = 100
+        rho, innovation = _uniform_coeffs(p, rho=0.7)
+        rho[10] = 0.0
+        rho[70] = 0.0
+        z = np.random.default_rng(9).standard_normal((3, p))
+        fused = numpy_fused.ar1_scan(z, rho, innovation, 1.0)
+        ref = reference.ar1_scan(z, rho, innovation, 1.0)
+        assert np.all(np.isfinite(fused))
+        np.testing.assert_allclose(fused, ref, rtol=0.0, atol=1e-12)
+
+    def test_underflow_subdivides_chunk(self):
+        # rho == 1e-5 drives the running prefix product below the rescaling
+        # floor within a block; the scan must subdivide, not overflow.
+        p = 200
+        rho = np.full(p - 1, 1e-5)
+        innovation = np.sqrt(1.0 - rho * rho)
+        z = np.random.default_rng(10).standard_normal((2, p))
+        fused = numpy_fused.ar1_scan(z, rho, innovation, 1.0)
+        ref = reference.ar1_scan(z, rho, innovation, 1.0)
+        assert np.all(np.isfinite(fused))
+        np.testing.assert_allclose(fused, ref, rtol=0.0, atol=1e-12)
+
+    @pytest.mark.parametrize("p", [63, 64, 65, 200])
+    def test_prefix_stable_bitwise(self, p):
+        # The common-random-numbers contract: scanning a prefix of the grid
+        # yields bitwise the prefix of the full scan.  The blocked scan cuts
+        # chunks greedily left to right, so this holds exactly.
+        rng = np.random.default_rng(p + 1)
+        z = rng.standard_normal((6, p))
+        rho = rng.uniform(0.1, 0.99, p - 1)
+        innovation = np.sqrt(1.0 - rho * rho)
+        full = numpy_fused.ar1_scan(z, rho, innovation, 1.0)
+        for k in (1, p // 2, p - 1):
+            part = numpy_fused.ar1_scan(z[:, :k], rho[:k - 1] if k > 1
+                                        else rho[:1], innovation[:k - 1]
+                                        if k > 1 else innovation[:1], 1.0)
+            assert np.array_equal(part, full[:, :k]), k
+
+    def test_dispatcher_backend_axis(self):
+        z = np.random.default_rng(0).standard_normal((2, 50))
+        rho, innovation = _uniform_coeffs(50)
+        ref = ar1_scan(z, rho, innovation, 1.0, backend="reference")
+        assert np.array_equal(ref, reference.ar1_scan(z, rho, innovation, 1.0))
+        for name in available_backends():
+            out = ar1_scan(z, rho, innovation, 1.0, backend=name)
+            np.testing.assert_allclose(out, ref, rtol=0.0, atol=1e-12,
+                                       err_msg=name)
+
+
+class TestAr1MinScan:
+    """Grouped shared-scan min reduction vs. the step loop."""
+
+    def _ragged_problem(self, seed=4):
+        # Mixed uniform/irregular candidate set with shared prefixes
+        # (candidates 0-2 share a uniform grid ladder) and singletons.
+        rng = np.random.default_rng(seed)
+        sizes = np.array([120, 80, 120, 33, 1, 64])
+        p_max = int(sizes.max())
+        snr = np.full((sizes.size, p_max), np.inf)
+        rho = np.zeros((sizes.size, p_max - 1))
+        innovation = np.zeros_like(rho)
+        shared_rho, shared_inn = _uniform_coeffs(p_max, rho=0.85, sigma=2.0)
+        for c, pc in enumerate(sizes):
+            snr[c, :pc] = rng.uniform(-5.0, 25.0, pc)
+            if c < 3:
+                rho[c, :pc - 1] = shared_rho[:pc - 1]
+                innovation[c, :pc - 1] = shared_inn[:pc - 1]
+            elif pc > 1:
+                r = rng.uniform(0.0, 0.99, pc - 1)
+                rho[c, :pc - 1] = r
+                innovation[c, :pc - 1] = 2.0 * np.sqrt(1.0 - r * r)
+        z = rng.standard_normal((40, p_max))
+        return snr, rho, innovation, z, sizes
+
+    def test_matches_reference(self):
+        snr, rho, innovation, z, sizes = self._ragged_problem()
+        fused = numpy_fused.ar1_min_scan(snr, rho, innovation, z, 2.0, sizes)
+        ref = reference.ar1_min_scan(snr, rho, innovation, z, 2.0, sizes)
+        np.testing.assert_allclose(fused, ref, rtol=0.0, atol=1e-12)
+
+    def test_alone_equals_joint_bitwise(self):
+        # Grouping candidates behind a shared scan must not change any
+        # candidate's answer relative to solving it alone (the pruning
+        # bound is exact, not approximate).
+        snr, rho, innovation, z, sizes = self._ragged_problem()
+        joint = numpy_fused.ar1_min_scan(snr, rho, innovation, z, 2.0, sizes)
+        for c in range(sizes.size):
+            alone = numpy_fused.ar1_min_scan(
+                snr[c:c + 1], rho[c:c + 1], innovation[c:c + 1], z, 2.0,
+                sizes[c:c + 1])
+            assert np.array_equal(alone[0], joint[c]), c
+
+    def test_single_position_candidate(self):
+        snr = np.array([[3.0]])
+        rho = np.zeros((1, 1))
+        innovation = np.zeros((1, 1))
+        z = np.random.default_rng(1).standard_normal((10, 1))
+        fused = numpy_fused.ar1_min_scan(snr, rho, innovation, z, 1.5,
+                                         np.array([1]))
+        ref = reference.ar1_min_scan(snr, rho, innovation, z, 1.5,
+                                     np.array([1]))
+        np.testing.assert_allclose(fused, ref, rtol=0.0, atol=1e-12)
+
+    def test_sigma_zero_short_circuits_before_kernel(self):
+        # The shadowing model returns zeros before any kernel dispatch, so
+        # even a backend that cannot run resolves fine at sigma == 0.
+        model = LogNormalShadowing(sigma_db=0.0)
+        out = model.sample_batch(np.array([0.0, 10.0, 20.0]),
+                                 [np.random.default_rng(0)] * 4,
+                                 backend="definitely-not-a-backend")
+        assert np.array_equal(out, np.zeros((4, 3)))
+
+
+class TestSocScan:
+    """Fused SoC-space walk vs. the reference Wh walk.
+
+    The fused kernel runs the recurrence in SoC units, so SoC-dependent
+    floats agree with the reference to a few ULPs (asserted at 1e-12
+    relative — three decades inside the 1e-9 engine budget); integer
+    counts and the hour-order PV sums are exact.
+    """
+
+    EXACT_KEYS = ("full_days", "unmet_hours", "monthly_unmet_hours",
+                  "annual_pv_wh", "monthly_pv_wh")
+
+    def _assert_matches(self, fused, ref):
+        assert set(fused) == set(ref)
+        for key in self.EXACT_KEYS:
+            assert np.array_equal(fused[key], ref[key]), key
+        for key in ("min_soc", "unmet_wh", "annual_load_wh"):
+            np.testing.assert_allclose(fused[key], ref[key],
+                                       rtol=1e-12, atol=1e-12, err_msg=key)
+
+    def _problem(self, n, days=60, seed=5, split_month=False):
+        rng = np.random.default_rng(seed)
+        produced = rng.uniform(0.0, 400.0, (days, 24, n))
+        produced[:, :6] = 0.0  # night hours: guaranteed pure-discharge
+        produced[:, 12] = 500.0  # midday: guaranteed pure-charge
+        demanded = rng.uniform(10.0, 120.0, (24, n))
+        months = np.repeat(np.arange(days // 5) % 12, 5)[:days]
+        if split_month:
+            months = np.concatenate((months[days // 2:], months[:days // 2]))
+        capacity = rng.uniform(500.0, 3000.0, n)
+        efficiency = rng.uniform(0.8, 0.95, n)
+        cutoff = rng.uniform(0.1, 0.3, n)
+        return produced, demanded, months, capacity, efficiency, cutoff
+
+    @pytest.mark.parametrize("n", [1, 7])
+    def test_matches_reference(self, n):
+        self._assert_matches(numpy_fused.soc_scan(*self._problem(n), 0.5),
+                             reference.soc_scan(*self._problem(n), 0.5))
+
+    @pytest.mark.parametrize("n", [1, 4])
+    def test_split_months(self, n):
+        # A month appearing in two non-contiguous day runs forces the
+        # scatter-add fallback in the monthly sums.
+        args = self._problem(n, split_month=True)
+        self._assert_matches(numpy_fused.soc_scan(*args, 1.0),
+                             reference.soc_scan(*args, 1.0))
+
+    def test_initial_soc_below_cutoff(self):
+        # The usable clamp must keep a below-cutoff battery from jumping
+        # up to the cutoff on the first discharge hour.
+        args = self._problem(3)
+        self._assert_matches(numpy_fused.soc_scan(*args, 0.05),
+                             reference.soc_scan(*args, 0.05))
+
+    def test_hour_order_sum_matches_loop(self):
+        rng = np.random.default_rng(6)
+        for n in (1, 3):
+            hourly = rng.uniform(-1.0, 1.0, (500, n))
+            acc = np.zeros(n)
+            for h in range(hourly.shape[0]):
+                acc = acc + hourly[h]
+            assert np.array_equal(_hour_order_sum(hourly), acc), n
+
+    def test_monthly_sums_match_loop(self):
+        rng = np.random.default_rng(7)
+        days = 40
+        for months in (np.repeat(np.arange(8) % 12, 5),
+                       np.concatenate((np.full(20, 11), np.full(20, 11)))):
+            for n in (1, 3):
+                hourly = rng.uniform(0.0, 2.0, (days * 24, n))
+                acc = np.zeros((12, n))
+                for d in range(days):
+                    for h in range(24):
+                        acc[months[d]] = acc[months[d]] + hourly[d * 24 + h]
+                assert np.array_equal(_monthly_sums(hourly, months), acc)
+
+
+class TestOccupancyScan:
+    """The numpy backend reuses the reference group scan unchanged."""
+
+    def test_numpy_aliases_reference(self):
+        assert numpy_fused.KERNELS["occupancy_scan"] is \
+            reference.KERNELS["occupancy_scan"]
+
+    def test_dispatcher_routes(self):
+        g_a = np.array([[0.0, 100.0], [50.0, np.inf]])
+        g_b = np.array([[10.0, 120.0], [60.0, np.inf]])
+        first_wake = np.array([[0.0, 95.0, np.inf], [45.0, np.inf, np.inf]])
+        n_groups = np.array([2, 1])
+        expected = reference.occupancy_scan(g_a, g_b, first_wake, n_groups,
+                                            5.0, 200.0)
+        for name in available_backends():
+            awake, waking = occupancy_scan(g_a, g_b, first_wake, n_groups,
+                                           5.0, 200.0, backend=name)
+            assert np.array_equal(awake, expected[0]), name
+            assert np.array_equal(waking, expected[1]), name
+
+
+class TestRegistry:
+    """Backend registration and name resolution."""
+
+    def test_known_backends_registered(self):
+        names = registered_backends()
+        assert "numpy" in names and "reference" in names and "numba" in names
+        assert set(available_backends()) <= set(names)
+        assert "numpy" in available_backends()
+        assert "reference" in available_backends()
+
+    def test_every_available_backend_is_complete(self):
+        for name in available_backends():
+            kernels = get_backend(name).kernels
+            assert set(kernels) == set(KERNEL_NAMES), name
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_backend(Backend(name="numpy", description="dup",
+                                     kernels={}))
+
+    def test_resolution_order(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend_name() == "numpy"
+        monkeypatch.setenv(BACKEND_ENV_VAR, "reference")
+        assert resolve_backend_name() == "reference"
+        # An explicit argument beats the environment variable.
+        assert resolve_backend_name("numpy") == "numpy"
+        assert get_backend().name == "reference"
+
+    def test_unknown_backend_rejected(self, monkeypatch):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            resolve_backend_name("fortran")
+        monkeypatch.setenv(BACKEND_ENV_VAR, "fortran")
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            resolve_backend_name()
+
+    def test_unavailable_backend_explains_itself(self):
+        if "numba" in available_backends():
+            pytest.skip("numba installed in this environment")
+        with pytest.raises(ConfigurationError, match="not installed"):
+            get_backend("numba")
+
+    def test_lazy_registration(self, monkeypatch):
+        # A fresh registry repopulates itself on first lookup by importing
+        # repro.kernels (which performs the register_backend calls).
+        import sys
+        monkeypatch.setattr(backend_mod, "_REGISTRY", {})
+        monkeypatch.delitem(sys.modules, "repro.kernels", raising=False)
+        assert "numpy" in registered_backends()

@@ -1,14 +1,18 @@
 """Tests for the vectorized Monte-Carlo shadowing engine.
 
-The contract mirrors the radio and solar batch layers: the batched kernel is
-trial-for-trial **bit-identical** to the scalar reference (same generator
-seeding, same draw order, elementwise-identical arithmetic), across uniform
-and irregular position grids, zero sigma, and single-position profiles.
+The contract mirrors the radio and solar batch layers: the batched engine
+under ``backend="reference"`` is trial-for-trial **bit-identical** to the
+scalar reference (same generator seeding, same draw order,
+elementwise-identical arithmetic), across uniform and irregular position
+grids, zero sigma, and single-position profiles.  The fused default backend
+matches within 1e-9 while preserving the CRN prefix properties bitwise
+(kernel-level coverage lives in ``tests/test_kernels.py``).
 """
 
 import numpy as np
 import pytest
 
+from repro.backend import available_backends
 from repro.corridor.layout import CorridorLayout
 from repro.errors import ConfigurationError
 from repro.optimize.mc import (
@@ -45,9 +49,15 @@ class TestSampleBatch:
     def test_matches_scalar_uniform_grid(self):
         model = LogNormalShadowing(sigma_db=4.0)
         pos = np.arange(0.0, 500.0, 5.0)
-        batch = model.sample_batch(pos, trial_generators(7, 20))
-        for t, rng in enumerate(trial_generators(7, 20)):
-            assert np.array_equal(batch[t], model.sample(pos, rng))
+        scalar = np.stack([model.sample(pos, rng)
+                           for rng in trial_generators(7, 20)])
+        reference = model.sample_batch(pos, trial_generators(7, 20),
+                                       backend="reference")
+        assert np.array_equal(reference, scalar)
+        for backend in available_backends():
+            batch = model.sample_batch(pos, trial_generators(7, 20),
+                                       backend=backend)
+            np.testing.assert_allclose(batch, scalar, rtol=0.0, atol=1e-9)
 
     # (Irregular-grid scalar equality over the shared seed sweep lives in
     # tests/test_engine_parity.py.)
@@ -100,10 +110,16 @@ class TestOutageMatrix:
             _synthetic_profile([42.0], [29.5]),
         ]
         shadowing = LogNormalShadowing(sigma_db=5.0, decorrelation_m=20.0)
-        batched = outage_matrix(profiles, shadowing, trials=64, seed=9)
         scalar = outage_matrix(profiles, shadowing, trials=64, seed=9,
                                engine="scalar")
-        assert np.array_equal(batched.min_snr_db, scalar.min_snr_db)
+        reference = outage_matrix(profiles, shadowing, trials=64, seed=9,
+                                  backend="reference")
+        assert np.array_equal(reference.min_snr_db, scalar.min_snr_db)
+        for backend in available_backends():
+            batched = outage_matrix(profiles, shadowing, trials=64, seed=9,
+                                    backend=backend)
+            np.testing.assert_allclose(batched.min_snr_db, scalar.min_snr_db,
+                                       rtol=0.0, atol=1e-9)
 
     def test_zero_sigma_reduces_to_deterministic(self):
         profiles = _profiles()
@@ -133,7 +149,12 @@ class TestOutageMatrix:
         small_first = outage_matrix([profiles[2]], trials=15, seed=21)
         big = outage_matrix(profiles, trials=15, seed=21)
         scalar = outage_matrix(profiles, trials=15, seed=21, engine="scalar")
-        assert np.array_equal(big.min_snr_db, scalar.min_snr_db)
+        big_ref = outage_matrix(profiles, trials=15, seed=21,
+                                backend="reference")
+        assert np.array_equal(big_ref.min_snr_db, scalar.min_snr_db)
+        np.testing.assert_allclose(big.min_snr_db, scalar.min_snr_db,
+                                   rtol=0.0, atol=1e-9)
+        # The fused default preserves the prefix property bitwise.
         assert np.array_equal(small_first.min_snr_db[0], big.min_snr_db[2])
 
     def test_seed_changes_samples(self):
@@ -224,12 +245,18 @@ class TestOutageResultHelpers:
 
     def test_engine_scalar_bit_identical(self):
         layout = CorridorLayout.with_uniform_repeaters(1250.0, 1)
-        batched = outage_probability(layout, trials=30, resolution_m=10.0)
         scalar = outage_probability(layout, trials=30, resolution_m=10.0,
                                     engine="scalar")
-        assert batched.outages == scalar.outages
-        assert np.array_equal(batched.min_snr_samples_db,
+        reference = outage_probability(layout, trials=30, resolution_m=10.0,
+                                       backend="reference")
+        assert reference.outages == scalar.outages
+        assert np.array_equal(reference.min_snr_samples_db,
                               scalar.min_snr_samples_db)
+        batched = outage_probability(layout, trials=30, resolution_m=10.0)
+        assert batched.outages == scalar.outages
+        np.testing.assert_allclose(batched.min_snr_samples_db,
+                                   scalar.min_snr_samples_db,
+                                   rtol=0.0, atol=1e-9)
 
 
 class TestRobustMaxIsdBisection:

@@ -1,10 +1,13 @@
 """Tests for the batched off-grid engine and the weather-tensor cache.
 
 The central guarantee mirrors ``test_batch.py``: every result out of
-:func:`repro.solar.batch.simulate_systems` is bit-identical to the scalar
+:func:`repro.solar.batch.simulate_systems` under the ``"reference"``
+kernel backend is bit-identical to the scalar
 :meth:`OffGridSystem.simulate_year` on the same system, the weather-year
 tensor is bit-identical to stacking the per-day synthesis, and weather is
-synthesized exactly once per key.
+synthesized exactly once per key.  The default fused backend's tolerance
+contract (exact integers/PV sums, 1e-9 SoC-dependent floats) lives in
+``tests/test_engine_parity.py``.
 """
 
 import dataclasses
@@ -104,13 +107,14 @@ class TestBatchBitIdentity:
                                           discharge_cutoff=0.3)),
         ]
         for system, result in zip(systems, simulate_systems(
-                systems, weather_cache=WeatherCache())):
+                systems, weather_cache=WeatherCache(), backend="reference")):
             assert_results_equal(result, system.simulate_year())
 
     def test_partial_year_and_initial_soc(self):
         system = OffGridSystem(LOCATIONS["berlin"], seed=5)
         batched, = simulate_systems([system], days=45, initial_soc=0.6,
-                                    weather_cache=WeatherCache())
+                                    weather_cache=WeatherCache(),
+                                    backend="reference")
         assert_results_equal(batched, system.simulate_year(days=45, initial_soc=0.6))
 
     def test_empty_batch(self):
@@ -219,7 +223,8 @@ class TestWeatherCache:
 class TestRoutedConsumers:
     @pytest.mark.parametrize("key", ALL_LOCATIONS)
     def test_sizing_engines_agree(self, key):
-        batch = find_minimal_system(LOCATIONS[key], weather_cache=WeatherCache())
+        batch = find_minimal_system(LOCATIONS[key], weather_cache=WeatherCache(),
+                                    backend="reference")
         scalar = find_minimal_system(LOCATIONS[key], engine="scalar")
         assert (batch.pv_peak_w, batch.battery_capacity_wh) == \
             (scalar.pv_peak_w, scalar.battery_capacity_wh)
@@ -232,7 +237,8 @@ class TestRoutedConsumers:
 
     def test_lifetime_engines_agree(self):
         batch = project_lifetime(LOCATIONS["vienna"], 540.0, 1440.0,
-                                 service_years=4, weather_cache=WeatherCache())
+                                 service_years=4, weather_cache=WeatherCache(),
+                                 backend="reference")
         scalar = project_lifetime(LOCATIONS["vienna"], 540.0, 1440.0,
                                   service_years=4, engine="scalar")
         assert len(batch.years) == len(scalar.years)
@@ -255,7 +261,8 @@ class TestRoutedConsumers:
     def test_simulate_candidates_order_and_identity(self):
         candidates = ((360.0, 720.0), (540.0, 1440.0))
         results = simulate_candidates(LOCATIONS["vienna"], candidates,
-                                      weather_cache=WeatherCache())
+                                      weather_cache=WeatherCache(),
+                                      backend="reference")
         assert [(r.pv_peak_w, r.battery_capacity_wh) for r in results] == \
             list(candidates)
         for (pv, wh), result in zip(candidates, results):
@@ -269,7 +276,8 @@ class TestTable4Grid:
         from repro.experiments.table4 import run_table4_grid
         grid = run_table4_grid(pv_peaks=(540.0, 600.0),
                                battery_whs=(720.0, 1440.0),
-                               weather_cache=WeatherCache())
+                               weather_cache=WeatherCache(),
+                               backend="reference")
         assert set(grid.results) == {"madrid", "lyon", "vienna", "berlin"}
         result = grid.results["berlin"][(600.0, 1440.0)]
         system = OffGridSystem(LOCATIONS["berlin"], pv=PvArray(peak_w=600.0),

@@ -310,6 +310,16 @@ class TestResults:
         with pytest.raises(ConfigurationError):
             table.write_csv(tmp_path / "x.csv", layout="diagonal")
 
+    def test_json_metadata_embedded(self, tmp_path):
+        table = run_study(mc_spec()).table
+        plain = json.loads(table.write_json(tmp_path / "p.json").read_text())
+        assert "metadata" not in plain
+        tagged = json.loads(table.write_json(
+            tmp_path / "t.json",
+            metadata={"backend": "reference"}).read_text())
+        assert tagged["metadata"] == {"backend": "reference"}
+        assert tagged["rows"] == plain["rows"]
+
     def test_json_nan_becomes_null(self, tmp_path):
         spec = parse_study("""
 name: sim-nan
@@ -364,6 +374,30 @@ fixed:
             spec.with_overrides(engine="scalar")).table.wide()
         assert scalar["outage_probability"] == batched["outage_probability"]
         assert scalar["median_min_snr_db"] == batched["median_min_snr_db"]
+
+    def test_backend_context_reference_matches_scalar(self):
+        # The reference backend routed through the study context reproduces
+        # the scalar escape hatch bit for bit; the default fused backend
+        # stays inside its 1e-9 parity budget on the same grid.
+        spec = mc_spec()
+        scalar = run_study(
+            spec.with_overrides(engine="scalar")).table.wide()
+        reference = run_study(
+            spec, context={"backend": "reference"}).table.wide()
+        fused = run_study(spec, context={"backend": "numpy"}).table.wide()
+        assert reference["outage_probability"] == scalar["outage_probability"]
+        assert reference["median_min_snr_db"] == scalar["median_min_snr_db"]
+        assert fused["outage_probability"] == scalar["outage_probability"]
+        for got, want in zip(fused["median_min_snr_db"],
+                             scalar["median_min_snr_db"]):
+            assert abs(got - want) <= 1e-9
+
+    def test_backend_context_crosses_process_pool(self):
+        spec = mc_spec()
+        inline = run_study(spec, context={"backend": "reference"}).table
+        pooled = run_study(spec, jobs=2, shards=2,
+                           context={"backend": "reference"}).table
+        assert pooled.wide() == inline.wide()
 
     def test_sim_unknown_policy_rejected(self):
         spec = parse_study("""
@@ -510,6 +544,21 @@ class TestStudyCli:
         assert "mc-tiny" in out
         assert (tmp_path / "out.csv").exists()
         assert json.loads((tmp_path / "out.json").read_text())["engine"] == "mc"
+
+    def test_backend_flag_tags_json_output(self, tmp_path, capsys):
+        path = self._write(tmp_path)
+        code = main(["study", "run", str(path), "--quiet",
+                     "--backend", "reference",
+                     "--json", str(tmp_path / "out.json")])
+        assert code == 0
+        document = json.loads((tmp_path / "out.json").read_text())
+        assert document["metadata"] == {"backend": "reference"}
+
+    def test_backend_flag_rejects_unknown(self, tmp_path, capsys):
+        path = self._write(tmp_path)
+        assert main(["study", "run", str(path), "--quiet",
+                     "--backend", "fortran"]) == 1
+        assert "unknown backend" in capsys.readouterr().err
 
     def test_resume_requires_store(self, tmp_path):
         path = self._write(tmp_path)

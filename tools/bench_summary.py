@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Merge a benchmark run's ``BENCH_*.json`` records into one summary.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_summary.py BENCH_DIR [-o OUT.json]
+
+Folds every ``BENCH_<name>.json`` the benchmark suite wrote (see
+``benchmarks/conftest.py``) into a deterministic ``BENCH_summary.json`` and
+prints the gate table.  Exits non-zero when any speedup gate is below its
+threshold, so CI can surface regressions from the artifact alone.  Thin
+wrapper around :mod:`repro.reporting.bench`, mirroring
+``tools/refresh_golden.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.errors import ReproError  # noqa: E402
+from repro.reporting.bench import summarize_directory  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("directory",
+                        help="directory the run pointed BENCH_JSON_DIR at")
+    parser.add_argument("-o", "--output", default=None,
+                        help="summary file (default: DIR/BENCH_summary.json)")
+    args = parser.parse_args(argv)
+
+    try:
+        path = summarize_directory(args.directory, output=args.output)
+    except ReproError as exc:
+        print(f"bench summary failed: {exc}", file=sys.stderr)
+        return 2
+
+    summary = json.loads(path.read_text())
+    failed = 0
+    for gate in summary["gates"]:
+        if not gate["enforced"]:
+            tag = "advisory"
+        elif gate["passed"]:
+            tag = "ok"
+        else:
+            tag = "FAIL"
+            failed += 1
+        print(f"[{tag}] {gate['gate']}: "
+              f"{gate['speedup']:.2f}x (threshold {gate['threshold']:.1f}x)")
+    print(f"wrote {path} ({len(summary['benchmarks'])} records, "
+          f"{len(summary['gates'])} gates)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
