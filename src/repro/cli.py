@@ -194,7 +194,24 @@ def build_study_parser() -> argparse.ArgumentParser:
                             "store)")
         p.add_argument("--store", metavar="DIR", default=None,
                        help="persist completed shards to DIR and reuse them "
-                            "on later runs (resume)")
+                            "on later runs (resume); a run.jsonl event "
+                            "journal is written beside the shards")
+        p.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="re-attempt a failing shard up to N times with "
+                            "deterministic capped exponential backoff "
+                            "(default: fail fast)")
+        p.add_argument("--shard-timeout", type=float, default=None,
+                       metavar="S",
+                       help="wall-clock budget per shard attempt [s]; a hung "
+                            "worker is terminated and the shard rescheduled "
+                            "(needs --jobs >= 2)")
+        p.add_argument("--keep-going", action="store_true",
+                       help="quarantine shards that exhaust their retries "
+                            "into the report (exit 4) instead of aborting")
+        p.add_argument("--fault-plan", metavar="FILE", default=None,
+                       help="JSON fault-injection plan executed by the "
+                            "workers on themselves (chaos testing; see "
+                            "repro.faults)")
         p.add_argument("--max-shards", type=int, default=None, metavar="K",
                        help="stop after computing K new shards (partial run; "
                             "resume later with the same --store)")
@@ -278,10 +295,23 @@ def study_main(argv: list[str]) -> int:
         return 1
     if args.backend is not None:
         context["backend"] = resolved_backend
+    if args.retries < 0:
+        raise SystemExit("--retries must be >= 0")
+    if args.fault_plan is not None:
+        from repro.faults import load_fault_plan
+        try:
+            plan = load_fault_plan(args.fault_plan)
+        except ReproError as exc:
+            print(f"study failed: {exc}", file=sys.stderr)
+            return 1
+        context["fault_plan"] = plan.to_context()
     try:
         report = run_study(spec, jobs=args.jobs, shards=args.shards,
                            store=store, progress=progress,
-                           max_shards=args.max_shards, context=context)
+                           max_shards=args.max_shards, context=context,
+                           retries=args.retries,
+                           shard_timeout=args.shard_timeout,
+                           keep_going=args.keep_going)
     except ReproError as exc:
         print(f"study failed: {exc}", file=sys.stderr)
         return 1
@@ -289,11 +319,17 @@ def study_main(argv: list[str]) -> int:
     if not args.quiet:
         print(report.table.table())
         print(report.summary(), file=sys.stderr)
+    for shard in report.failed_shards:
+        print(f"failed shard {shard.index} (cases [{shard.start}:"
+              f"{shard.stop})): {shard.kind} after {shard.attempts} "
+              f"attempt(s) — {shard.error}", file=sys.stderr)
     if args.csv is not None:
         report.table.write_csv(args.csv, layout=args.layout)
     if args.json is not None:
         report.table.write_json(args.json,
                                 metadata={"backend": resolved_backend})
+    if report.failed_shards:
+        return 4  # completed with quarantined shards (--keep-going)
     return 3 if report.partial else 0
 
 

@@ -13,6 +13,7 @@ __all__ = [
     "GeometryError",
     "InfeasibleError",
     "SimulationError",
+    "StudyExecutionError",
 ]
 
 
@@ -34,3 +35,13 @@ class InfeasibleError(ReproError):
 
 class SimulationError(ReproError, RuntimeError):
     """The discrete-event simulation reached an inconsistent state."""
+
+
+class StudyExecutionError(ReproError, RuntimeError):
+    """A study shard exhausted its retry budget (crash/timeout/worker loss).
+
+    Raised by the supervised runner when a shard keeps failing without an
+    engine exception to re-raise — a hung worker cancelled by the shard
+    timeout, or a worker process killed hard (OOM/SIGKILL).  Engine
+    exceptions themselves are re-raised unchanged after the last attempt.
+    """

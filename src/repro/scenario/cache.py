@@ -16,10 +16,26 @@ same base for ``(days, 24)`` weather-year tensors.
 
 Cached values are bit-identical to fresh ones: the arrays are stored as-is
 without any rounding, and the in-memory layer returns the very same object.
+
+The disk layer is hardened against the failure modes of killed and
+misbehaving runs:
+
+* writes are **atomic** (temp file + ``os.replace``), so a killed writer
+  never leaves a torn ``.npz`` under the final name;
+* every bundle carries a **content checksum** (SHA-256 over the packed
+  arrays); a mismatch on load — bit rot, a torn write from a pre-hardening
+  run, deliberate fault injection — is treated as a miss, not a crash;
+* corrupt, truncated or checksum-failing files are **quarantined** into a
+  ``quarantine/`` sidecar directory (and recomputed), preserving the
+  evidence instead of silently overwriting it;
+* an unwritable ``cache_dir`` mid-run (disk full, permissions yanked)
+  degrades the cache to memory-only for that write instead of raising
+  through the engine (counted in :attr:`ArrayCache.disk_errors`).
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import threading
 import zipfile
@@ -32,10 +48,30 @@ from repro.errors import ConfigurationError
 from repro.radio.link import SnrProfile
 from repro.scenario.spec import Scenario
 
-__all__ = ["ArrayCache", "ProfileCache"]
+__all__ = ["ArrayCache", "ProfileCache", "QUARANTINE_DIR"]
 
 _PROFILE_FIELDS = ("positions_m", "source_rsrp_dbm", "total_signal_dbm",
                    "total_noise_dbm", "snr_db")
+
+#: Reserved bundle entry carrying the content checksum of the other arrays.
+_CHECKSUM_KEY = "__checksum__"
+
+#: Sidecar directory (under ``cache_dir``) damaged files are moved into.
+QUARANTINE_DIR = "quarantine"
+
+
+def _bundle_checksum(arrays: dict[str, np.ndarray]) -> str:
+    """SHA-256 over the packed arrays (names, dtypes, shapes, raw bytes)."""
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        if name == _CHECKSUM_KEY:
+            continue
+        arr = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode())
+        digest.update(str(arr.dtype).encode())
+        digest.update(str(arr.shape).encode())
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
 
 
 class ArrayCache:
@@ -62,6 +98,10 @@ class ArrayCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        #: Disk writes that failed (cache degraded to memory-only for them).
+        self.disk_errors = 0
+        #: Damaged files detected on load and moved to the sidecar directory.
+        self.quarantined = 0
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -96,19 +136,31 @@ class ArrayCache:
             return None
 
     def put_by_hash(self, key: str, value) -> None:
-        """Store a computed value under its content hash."""
+        """Store a computed value under its content hash.
+
+        The disk write is atomic (temp file + ``os.replace``) and the bundle
+        is stamped with a content checksum; a failing write (unwritable
+        directory, disk full) degrades to memory-only instead of raising.
+        """
         with self._lock:
             self._remember(key, value)
         if self.cache_dir is not None:
-            arrays = self._pack(value)
+            arrays = dict(self._pack(value))
+            arrays[_CHECKSUM_KEY] = np.array(_bundle_checksum(arrays),
+                                             dtype=np.str_)
             # Write-then-rename so an interrupted run never leaves a torn
             # .npz behind for later runs to choke on.
             tmp_path = self.cache_dir / f".{key}.{os.getpid()}.tmp.npz"
             try:
                 np.savez(tmp_path, **arrays)
                 os.replace(tmp_path, self.cache_dir / f"{key}.npz")
+            except OSError:
+                self.disk_errors += 1
             finally:
-                tmp_path.unlink(missing_ok=True)
+                try:
+                    tmp_path.unlink(missing_ok=True)
+                except OSError:
+                    pass
 
     # -- internals ----------------------------------------------------------
 
@@ -126,11 +178,35 @@ class ArrayCache:
             return None
         try:
             with np.load(path) as data:
-                return self._unpack({name: data[name] for name in data.files})
-        except (OSError, ValueError, KeyError, TypeError, zipfile.BadZipFile):
-            # A corrupt or foreign file is a miss, not a crash; recompute
-            # (and the fresh put() overwrites it atomically).
+                arrays = {name: data[name] for name in data.files}
+            stored = arrays.pop(_CHECKSUM_KEY, None)
+            if stored is not None and str(stored) != _bundle_checksum(arrays):
+                raise ValueError(f"checksum mismatch in {path.name}")
+            return self._unpack(arrays)
+        except (OSError, EOFError, ValueError, KeyError, TypeError,
+                zipfile.BadZipFile):
+            # A corrupt, truncated or checksum-failing file is a miss, not a
+            # crash: quarantine the evidence and recompute (the fresh put()
+            # rewrites the final name atomically).
+            self._quarantine(path)
             return None
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a damaged file into the sidecar directory (best effort)."""
+        try:
+            if not path.exists():
+                return
+            sidecar = self.cache_dir / QUARANTINE_DIR
+            sidecar.mkdir(parents=True, exist_ok=True)
+            os.replace(path, sidecar / path.name)
+            self.quarantined += 1
+        except OSError:
+            # Even unlink may fail on a read-only mount; never raise.
+            try:
+                path.unlink(missing_ok=True)
+                self.quarantined += 1
+            except OSError:
+                pass
 
 
 class ProfileCache(ArrayCache):

@@ -3,7 +3,9 @@
 A *study* is a sweep-as-data document — axes over any scenario / solar / MC /
 sim parameter, an engine selection, seeds and derived-metric formulas — that
 compiles to the existing batch engines and runs through a sharded,
-resumable, process-parallel runner into one tidy results table.
+resumable, process-parallel **supervised** runner (per-shard retries with
+deterministic backoff, wall-clock timeouts, automatic pool rebuilds,
+fault quarantine and a JSONL run journal) into one tidy results table.
 
 ::
 
@@ -20,8 +22,15 @@ the shipped examples mirroring the ``sim-grid`` / ``robustness-grid`` /
 
 from repro.study.engines import STUDY_ENGINES, EngineAdapter, run_cases
 from repro.study.expressions import compile_expression
+from repro.study.journal import RunJournal, read_journal
 from repro.study.results import StudyStore, StudyTable, build_table, merge_shards
-from repro.study.runner import StudyRunReport, run_study, shard_ranges
+from repro.study.runner import (
+    FailedShard,
+    StudyRunReport,
+    retry_delay,
+    run_study,
+    shard_ranges,
+)
 from repro.study.spec import StudySpec, load_study, parse_study, study_from_mapping
 
 __all__ = [
@@ -29,11 +38,15 @@ __all__ = [
     "EngineAdapter",
     "run_cases",
     "compile_expression",
+    "RunJournal",
+    "read_journal",
     "StudyStore",
     "StudyTable",
     "build_table",
     "merge_shards",
+    "FailedShard",
     "StudyRunReport",
+    "retry_delay",
     "run_study",
     "shard_ranges",
     "StudySpec",

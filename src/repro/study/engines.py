@@ -432,7 +432,10 @@ def run_cases(engine: str, cases: list[dict], seeds: list[int],
             (both fall back to per-process module caches), ``jobs`` (radio
             thread sharding), and ``backend`` (kernel backend name forwarded
             to the stochastic engines; ``None`` resolves via
-            ``REPRO_BACKEND``).
+            ``REPRO_BACKEND``).  Other keys pass through untouched: the
+            supervised runner ships a ``fault_plan`` mapping here
+            (:mod:`repro.faults`), consumed by the worker entry point
+            before this function runs.
 
     Returns:
         One ``{metric: value}`` dict per case, aligned with ``cases``, with

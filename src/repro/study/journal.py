@@ -1,0 +1,108 @@
+"""Structured JSONL run journal — the supervisor's observability substrate.
+
+Every supervised study run can append one JSON object per line to a
+``run.jsonl`` file (by default beside the :class:`~repro.study.results.StudyStore`
+directory), recording the full shard lifecycle: submissions, completions,
+retries with their backoff delays, wall-clock timeouts, pool rebuilds,
+quarantined failures and the final run outcome.  The journal is *append
+only* — an interrupted or crashed run leaves every event written so far, so
+post-mortems never depend on the process surviving.
+
+Event schema (one JSON object per line)::
+
+    {"event": "<type>", "t": <unix seconds>, ...}
+
+========== =================================================================
+event       extra fields
+========== =================================================================
+run_start   study, compute_hash, shards, jobs, retries, shard_timeout_s,
+            keep_going
+reused      shard, start, stop
+submit      shard, start, stop, attempt
+finish      shard, start, stop, attempt, wall_s
+retry       shard, start, stop, attempt (the one that failed), delay_s,
+            error, kind ("error" | "timeout" | "crash")
+timeout     shard, start, stop, attempt, timeout_s
+pool_broken lost (list of shard indices requeued)
+layout_mismatch  stored (list of [start, stop]), current (list of [start, stop])
+failure     shard, start, stop, attempts, error, kind
+interrupt   completed
+run_end     computed, reused, failed, interrupted, partial, wall_s
+========== =================================================================
+
+:func:`read_journal` parses a journal back into dictionaries (skipping
+torn trailing lines, which an interrupted writer can legitimately leave).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+__all__ = ["RunJournal", "read_journal"]
+
+
+class RunJournal:
+    """Append-only JSONL event writer (no-op when constructed with ``None``).
+
+    Args:
+        path: Journal file to append to (parents are created), or ``None``
+            for a disabled journal whose :meth:`emit` does nothing.
+    """
+
+    def __init__(self, path: str | Path | None) -> None:
+        self.path = Path(path) if path is not None else None
+        if self.path is not None:
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+            except OSError:
+                # An unwritable journal location disables the journal; it
+                # must never take down the run it observes.
+                self.path = None
+
+    def emit(self, event: str, **fields) -> None:
+        """Append one event line; disk errors are swallowed.
+
+        A journal must never take down the run it observes, so any
+        ``OSError`` from the append (disk full, permissions yanked
+        mid-run) is silently dropped.
+
+        Args:
+            event: Event type (see the module schema table).
+            fields: JSON-serializable extra fields.
+        """
+        if self.path is None:
+            return
+        record = {"event": event, "t": time.time(), **fields}
+        try:
+            with open(self.path, "a") as fh:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+        except OSError:
+            pass
+
+
+def read_journal(path: str | Path) -> list[dict]:
+    """Parse a ``run.jsonl`` file back into event dictionaries.
+
+    Args:
+        path: The journal file.
+
+    Returns:
+        One dict per well-formed line, in file order.  A torn final line
+        (interrupted writer) is skipped rather than raised on; a missing
+        file reads as an empty journal.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    events = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except ValueError:
+            continue
+    return events

@@ -11,12 +11,15 @@ writes as
 * JSON — a provenance document (spec echo + wide records).
 
 :class:`StudyStore` is the disk layer of the sharded runner: each completed
-shard's raw engine metrics persist as one ``.npz`` bundle (the same
-write-then-rename :class:`~repro.scenario.cache.ArrayCache` machinery as the
-profile and weather caches), keyed by the spec's
+shard's raw engine metrics persist as one checksummed ``.npz`` bundle (the
+same atomic write-then-rename :class:`~repro.scenario.cache.ArrayCache`
+machinery as the profile and weather caches), keyed by the spec's
 :attr:`~repro.study.spec.StudySpec.compute_hash` and the shard's case range —
 so an interrupted run resumes from its completed shards, and the merged table
-is bit-identical to an uninterrupted run.
+is bit-identical to an uninterrupted run.  Corrupt or truncated bundles (a
+killed pre-hardening writer, bit rot, injected faults) are detected by the
+checksum, quarantined into a sidecar directory and recomputed instead of
+poisoning the resume.
 """
 
 from __future__ import annotations
@@ -284,3 +287,29 @@ class StudyStore(ArrayCache):
                   value: ShardTable) -> None:
         """Persist one completed shard's raw table."""
         self.put_by_hash(self.shard_key(spec, start, stop), value)
+
+    def stored_ranges(self, spec: StudySpec) -> list[tuple[int, int]]:
+        """Case ranges of ``spec`` present in the disk layer, sorted.
+
+        Used by the runner to detect a resume whose shard layout differs
+        from the run that populated the store (the keys embed the ranges,
+        so a different layout would silently recompute everything).
+
+        Args:
+            spec: The study whose shards to look for.
+
+        Returns:
+            Sorted ``(start, stop)`` ranges found on disk; empty when the
+            store has no disk layer or holds nothing for this spec.
+        """
+        if self.cache_dir is None:
+            return []
+        prefix = spec.compute_hash[:40]
+        ranges = []
+        for path in self.cache_dir.glob(f"{prefix}-*.npz"):
+            parts = path.stem.rsplit("-", 2)
+            try:
+                ranges.append((int(parts[1]), int(parts[2])))
+            except (IndexError, ValueError):  # pragma: no cover - foreign file
+                continue
+        return sorted(ranges)

@@ -1,4 +1,4 @@
-"""Sharded study execution: chunked cases, process pools, resumability.
+"""Supervised sharded study execution: retries, timeouts, pool rebuilds.
 
 :func:`run_study` turns a :class:`~repro.study.spec.StudySpec` into a merged
 :class:`~repro.study.results.StudyTable`:
@@ -7,28 +7,65 @@
    chunks of near-equal size;
 2. shards already present in the optional :class:`~repro.study.results.StudyStore`
    are reused (resume-from-partial);
-3. the remaining shards run — inline for ``jobs=1``, otherwise on a
-   :class:`~concurrent.futures.ProcessPoolExecutor` of ``jobs`` workers —
-   with a ``[k/n]`` progress callback per completed shard;
+3. the remaining shards run under a **supervisor loop** — inline for
+   ``jobs=1``, otherwise on a :class:`~concurrent.futures.ProcessPoolExecutor`
+   of ``jobs`` workers — with a ``[k/n]`` progress callback per completed
+   shard;
 4. completed shards persist to the store and merge, in case order, into the
    final table.
+
+**Fault tolerance.**  At network scale (tens of thousands of segments x
+scenarios) individual worker failures are routine, not exceptional, so the
+supervisor treats them as schedulable events rather than run-enders:
+
+* a failing shard is retried up to ``retries`` times with capped exponential
+  backoff, **deterministically jittered** from the study seed
+  (:func:`retry_delay`) so a rerun reproduces the schedule exactly;
+* a shard exceeding ``shard_timeout`` seconds of wall clock is declared
+  hung: its worker pool is torn down (terminating the stuck process), lost
+  in-flight shards requeue, and the timed-out attempt counts against the
+  shard's retry budget;
+* a worker killed hard (OOM, SIGKILL, ``os._exit``) surfaces as
+  ``BrokenProcessPool``: the supervisor rebuilds the pool and requeues only
+  the shards that were in flight — completed shards are kept;
+* with ``keep_going=True`` a shard that exhausts its budget is quarantined
+  into :attr:`StudyRunReport.failed_shards` (with attempt counts and error
+  provenance) instead of aborting the run; without it, the last engine
+  exception is re-raised (or :class:`~repro.errors.StudyExecutionError` for
+  crashes/timeouts) after completed shards have been persisted;
+* ``KeyboardInterrupt`` cancels pending work, persists what finished and
+  returns a partial report instead of losing the run;
+* every lifecycle event (submit / finish / retry / timeout / pool rebuild /
+  failure / interrupt) lands in a structured JSONL journal
+  (:mod:`repro.study.journal`), by default ``run.jsonl`` beside the store.
 
 **CRN contract.**  A case's engine seed depends only on the study seed and
 the case index (:meth:`~repro.study.spec.StudySpec.case_seed`); the stochastic
 engines then seed their streams ``default_rng([seed, t])`` per trial /
-realization.  Shard boundaries never enter the seeding path, so the merged
-table is bit-identical for *any* shard count and job count — asserted in
-``tests/test_study.py``.
+realization.  Shard boundaries, retries, pool rebuilds and resumes never
+enter the seeding path, so the merged table is bit-identical for *any* shard
+count, job count and failure history — asserted in ``tests/test_study.py``
+and the fault-injection matrix ``tests/test_faults.py``.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
-from dataclasses import dataclass
+import time
+import warnings
+from collections import deque
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
-from repro.errors import ConfigurationError
+import numpy as np
+
+from repro.errors import ConfigurationError, StudyExecutionError
+from repro.faults import CONTEXT_KEY as _FAULT_CONTEXT_KEY
+from repro.faults import FaultPlan
 from repro.study.engines import run_cases
+from repro.study.journal import RunJournal
 from repro.study.results import (
     ShardTable,
     StudyStore,
@@ -38,11 +75,15 @@ from repro.study.results import (
 )
 from repro.study.spec import StudySpec
 
-__all__ = ["StudyRunReport", "run_study", "shard_ranges"]
+__all__ = ["FailedShard", "StudyRunReport", "retry_delay", "run_study",
+           "shard_ranges"]
 
 #: Default upper bound on the shard count (kept independent of ``jobs`` so a
 #: resumed run finds the same shard layout regardless of its parallelism).
 DEFAULT_MAX_SHARDS = 16
+
+#: Supervisor poll interval [s] while futures are in flight.
+_POLL_S = 0.05
 
 
 def shard_ranges(case_count: int, shards: int) -> list[tuple[int, int]]:
@@ -65,15 +106,51 @@ def shard_ranges(case_count: int, shards: int) -> list[tuple[int, int]]:
     return [(bounds[i], bounds[i + 1]) for i in range(shards)]
 
 
-def _run_shard(payload: tuple[StudySpec, int, int, dict]) -> tuple[int, ShardTable]:
+def retry_delay(seed: int, shard_start: int, attempt: int,
+                base: float = 0.25, cap: float = 8.0) -> float:
+    """Backoff delay [s] before re-attempting a shard — deterministic.
+
+    Capped exponential backoff with jitter drawn from
+    ``SeedSequence([seed, shard_start, attempt])``, so the whole retry
+    schedule is a pure function of the study seed and the failure history:
+    a rerun under the same fault plan reproduces identical wall-clock
+    behaviour (up to scheduler noise), which keeps chaos tests and
+    production post-mortems comparable.
+
+    Args:
+        seed: The study seed.
+        shard_start: First case index of the shard (its stable identity).
+        attempt: 1-based attempt number that just failed.
+        base: Delay scale of the first retry [s]; ``0`` disables backoff.
+        cap: Upper bound on the un-jittered delay [s].
+
+    Returns:
+        The delay in seconds (jittered into ``[0.5, 1.0] * exponential``).
+    """
+    if base <= 0.0:
+        return 0.0
+    exponential = min(cap, base * (2.0 ** (attempt - 1)))
+    state = np.random.SeedSequence([int(seed), int(shard_start), int(attempt)])
+    unit = state.generate_state(1, dtype=np.uint64)[0] / float(2 ** 64)
+    return exponential * (0.5 + 0.5 * float(unit))
+
+
+def _run_shard(payload: tuple[StudySpec, int, int, dict, int, int]
+               ) -> tuple[int, ShardTable]:
     """Worker entry point: evaluate the ``[start, stop)`` case range.
 
     Module-level so it pickles into :class:`ProcessPoolExecutor` workers;
     regenerates the case list from the spec (cheap, deterministic) instead of
     shipping it, and relies on per-process engine caches
-    (:mod:`repro.study.engines`) for shared state.
+    (:mod:`repro.study.engines`) for shared state.  When the context carries
+    a fault plan (:mod:`repro.faults`), the worker executes its own planned
+    fault for this ``(shard, attempt)`` before computing — the supervisor
+    sees only the resulting failure, exactly like a real one.
     """
-    spec, start, stop, context = payload
+    spec, start, stop, context, shard_index, attempt = payload
+    plan = FaultPlan.from_context(context)
+    if plan is not None:
+        plan.execute(shard_index, attempt, study=spec, start=start, stop=stop)
     cases = spec.cases()[start:stop]
     seeds = [spec.case_seed(i) for i in range(start, stop)]
     rows = run_cases(spec.engine, cases, seeds, context=context)
@@ -86,15 +163,45 @@ def _run_shard(payload: tuple[StudySpec, int, int, dict]) -> tuple[int, ShardTab
 
 #: Context keys that are plain data and may cross a process boundary; live
 #: cache objects (``profile_cache``, ``weather_cache``) stay inline-only.
-_PICKLABLE_CONTEXT_KEYS = ("cache_dir", "jobs", "backend")
+_PICKLABLE_CONTEXT_KEYS = ("cache_dir", "jobs", "backend", _FAULT_CONTEXT_KEY)
+
+
+@dataclass(frozen=True)
+class FailedShard:
+    """Provenance of one shard quarantined after exhausting its retries.
+
+    Attributes
+    ----------
+    index:
+        Shard index in the run's layout.
+    start / stop:
+        The shard's ``[start, stop)`` case range.
+    attempts:
+        Total attempts made (``retries + 1`` unless the run aborted early).
+    error:
+        Representation of the last failure (exception ``repr`` or a
+        timeout/crash description).
+    kind:
+        ``"error"`` (worker exception), ``"timeout"`` (shard timeout) or
+        ``"crash"`` (worker process lost).
+    """
+
+    index: int
+    start: int
+    stop: int
+    attempts: int
+    error: str
+    kind: str
 
 
 @dataclass(frozen=True)
 class StudyRunReport:
     """A finished (or partial) study run: the merged table + provenance.
 
-    ``partial`` is True when ``max_shards`` stopped the run before every
-    shard was evaluated; re-running with the same store completes it.
+    ``partial`` is True when some shards were never completed — because
+    ``max_shards`` stopped the run early, a ``KeyboardInterrupt`` cancelled
+    it (``interrupted``), or shards were quarantined (``failed_shards``);
+    re-running with the same store completes or re-attempts them.
     """
 
     spec: StudySpec
@@ -103,18 +210,72 @@ class StudyRunReport:
     reused_shards: int
     computed_shards: int
     jobs: int
+    failed_shards: tuple[FailedShard, ...] = ()
+    shard_attempts: dict = field(default_factory=dict)
+    interrupted: bool = False
 
     @property
     def partial(self) -> bool:
+        """True when not every shard of the layout completed successfully."""
         return self.reused_shards + self.computed_shards < self.shards
+
+    @property
+    def retried(self) -> int:
+        """Total extra attempts beyond the first, across all shards."""
+        return sum(max(0, n - 1) for n in self.shard_attempts.values())
 
     def summary(self) -> str:
         """One-line run summary for logs and the CLI."""
-        state = "partial" if self.partial else "complete"
+        if self.failed_shards:
+            state = f"{len(self.failed_shards)} shards FAILED"
+        elif self.interrupted:
+            state = "interrupted"
+        elif self.partial:
+            state = "partial"
+        else:
+            state = "complete"
+        retries = f", {self.retried} retries" if self.retried else ""
         return (f"study {self.spec.name!r}: {len(self.table)}/"
                 f"{self.spec.case_count} cases ({state}), "
                 f"{self.shards} shards ({self.reused_shards} reused, "
-                f"{self.computed_shards} computed), jobs={self.jobs}")
+                f"{self.computed_shards} computed{retries}), jobs={self.jobs}")
+
+
+@dataclass
+class _Attempt:
+    """Mutable supervisor bookkeeping for one shard."""
+
+    index: int
+    start: int
+    stop: int
+    attempt: int = 0          # attempts started so far
+    ready_at: float = 0.0     # monotonic time the next attempt may start
+    last_error: BaseException | None = None
+    last_kind: str = "error"
+
+    def describe_error(self) -> str:
+        if self.last_error is not None:
+            return repr(self.last_error)
+        return f"shard {self.index} {self.last_kind} (no exception captured)"
+
+
+def _kill_pool(pool: concurrent.futures.ProcessPoolExecutor) -> None:
+    """Tear a pool down hard, terminating workers that ignore shutdown.
+
+    ``shutdown`` alone never interrupts a *running* task, so a hung worker
+    would pin the process forever; terminating the worker processes is the
+    only portable cancellation.  ``_processes`` is private but stable across
+    supported CPython versions, and an empty mapping (pool already broken)
+    degrades to a plain shutdown.
+    """
+    procs = getattr(pool, "_processes", None)
+    processes = list(procs.values()) if isinstance(procs, dict) else []
+    for process in processes:
+        try:
+            process.terminate()
+        except (OSError, ValueError):  # pragma: no cover - already dead
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
 
 
 def run_study(spec: StudySpec,
@@ -123,16 +284,22 @@ def run_study(spec: StudySpec,
               store: StudyStore | None = None,
               progress: Callable[[int, int, str], None] | None = None,
               max_shards: int | None = None,
-              context: dict | None = None) -> StudyRunReport:
-    """Execute a study and merge its shards into one results table.
+              context: dict | None = None,
+              retries: int = 0,
+              shard_timeout: float | None = None,
+              keep_going: bool = False,
+              backoff_base: float = 0.25,
+              backoff_cap: float = 8.0,
+              journal: str | Path | RunJournal | None = None) -> StudyRunReport:
+    """Execute a study under the supervisor and merge its shards.
 
     Args:
         spec: The validated study specification.
         jobs: Worker processes; ``1`` (default) runs inline in this process.
         shards: Number of contiguous case chunks.  Defaults to
             ``min(case_count, 16)``; a resumed run must use the same shard
-            layout as the run that populated the store (the store keys by
-            case range, so a different layout simply recomputes).
+            layout as the run that populated the store (a differing layout
+            recomputes, and is reported — see Warns below).
         store: Optional :class:`~repro.study.results.StudyStore`; completed
             shards persist there and are reused by later runs (resume).
         progress: Optional ``progress(done, total, label)`` callback invoked
@@ -142,71 +309,329 @@ def run_study(spec: StudySpec,
             rerun with the same store to continue.
         context: Optional engine context.  ``profile_cache`` /
             ``weather_cache`` objects are honoured inline (``jobs=1``) only;
-            ``cache_dir`` (a path string) is forwarded to worker processes,
-            which share state through per-process disk-backed caches.
+            ``cache_dir`` (a path string), ``backend`` and ``fault_plan``
+            (a :meth:`repro.faults.FaultPlan.to_context` mapping) are
+            forwarded to worker processes.
+        retries: Extra attempts per failing shard (``0`` keeps the historic
+            fail-fast behaviour).
+        shard_timeout: Wall-clock budget [s] per shard attempt; a hung
+            worker is terminated (pool rebuild) and the attempt counts
+            against the retry budget.  Requires ``jobs > 1`` — inline
+            execution cannot preempt itself, so the timeout is ignored there.
+        keep_going: Quarantine shards that exhaust their retry budget into
+            :attr:`StudyRunReport.failed_shards` instead of aborting.
+        backoff_base: First-retry backoff scale [s] (``0`` disables backoff;
+            see :func:`retry_delay`).
+        backoff_cap: Upper bound on the un-jittered backoff [s].
+        journal: JSONL event journal — a path, an existing
+            :class:`~repro.study.journal.RunJournal`, or ``None`` to default
+            to ``run.jsonl`` inside the store's directory (no journal when
+            the store has no disk layer).
 
     Returns:
         The :class:`StudyRunReport` with the merged
         :class:`~repro.study.results.StudyTable` (partial runs contain only
         the completed case ranges, in order).
 
+    Warns:
+        RuntimeWarning: When the store holds shards of this spec under a
+            different shard layout than the current run (the resume cannot
+            reuse them and recomputes; the warning names both layouts).
+
     Raises:
-        ConfigurationError: On invalid ``jobs``/``shards`` or any engine
-            error raised by a case.
+        ConfigurationError: On invalid ``jobs``/``shards``/``retries``.
+        StudyExecutionError: When a shard exhausts its retry budget through
+            crashes or timeouts and ``keep_going`` is off.  Engine
+            exceptions (including injected faults) are re-raised unchanged
+            after the last attempt instead.
     """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
     if max_shards is not None and max_shards < 0:
         raise ConfigurationError(f"max_shards must be >= 0, got {max_shards}")
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries}")
+    if shard_timeout is not None and shard_timeout <= 0:
+        raise ConfigurationError(
+            f"shard_timeout must be > 0, got {shard_timeout}")
     case_count = spec.case_count
     if shards is None:
         shards = min(case_count, DEFAULT_MAX_SHARDS)
     ranges = shard_ranges(case_count, shards)
 
+    if isinstance(journal, RunJournal):
+        log = journal
+    elif journal is not None:
+        log = RunJournal(journal)
+    elif store is not None and store.cache_dir is not None:
+        log = RunJournal(store.cache_dir / "run.jsonl")
+    else:
+        log = RunJournal(None)
+    run_t0 = time.monotonic()
+    log.emit("run_start", study=spec.name, compute_hash=spec.compute_hash,
+             shards=len(ranges), jobs=jobs, retries=retries,
+             shard_timeout_s=shard_timeout, keep_going=keep_going)
+
     done: list[ShardTable] = []
-    pending: list[tuple[int, int]] = []
-    for start, stop in ranges:
+    pending: list[tuple[int, int, int]] = []  # (shard index, start, stop)
+    stored = store.stored_ranges(spec) if store is not None else []
+    for index, (start, stop) in enumerate(ranges):
         cached = store.get_shard(spec, start, stop) if store is not None else None
         if cached is not None:
             done.append(cached)
+            log.emit("reused", shard=index, start=start, stop=stop)
         else:
-            pending.append((start, stop))
+            pending.append((index, start, stop))
     reused = len(done)
     total = len(ranges)
     finished = reused
     if progress is not None and reused:
         progress(finished, total, f"{reused} shards reused from store")
 
+    foreign = sorted(set(stored) - set(ranges))
+    if foreign:
+        log.emit("layout_mismatch", stored=[list(r) for r in stored],
+                 current=[list(r) for r in ranges])
+        warnings.warn(
+            f"study store holds shards of {spec.name!r} under a different "
+            f"shard layout — stored ranges {stored} vs. current layout "
+            f"{ranges}; the mismatched shards cannot be reused and will be "
+            f"recomputed (rerun with the original --shards to reuse them)",
+            RuntimeWarning, stacklevel=2)
+
     if max_shards is not None:
         pending = pending[:max_shards]
 
-    def record(start: int, stop: int, shard: ShardTable) -> None:
+    def record(index: int, start: int, stop: int, shard: ShardTable,
+               attempt: int, wall_s: float) -> None:
         nonlocal finished
         if store is not None:
             store.put_shard(spec, start, stop, shard)
         done.append(shard)
         finished += 1
+        log.emit("finish", shard=index, start=start, stop=stop,
+                 attempt=attempt, wall_s=wall_s)
         if progress is not None:
             progress(finished, total, f"cases [{start}:{stop})")
 
     context = dict(context or {})
-    if jobs == 1 or len(pending) <= 1:
-        for start, stop in pending:
-            _, shard = _run_shard((spec, start, stop, context))
-            record(start, stop, shard)
-    else:
-        shipped = {k: context[k] for k in _PICKLABLE_CONTEXT_KEYS
-                   if k in context}
-        workers = min(jobs, len(pending))
-        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(_run_shard, (spec, start, stop, shipped)):
-                       (start, stop) for start, stop in pending}
-            for future in concurrent.futures.as_completed(futures):
-                start, stop = futures[future]
-                _, shard = future.result()
-                record(start, stop, shard)
+    jobs_meta: dict[int, _Attempt] = {
+        index: _Attempt(index=index, start=start, stop=stop)
+        for index, start, stop in pending}
+    failed: list[FailedShard] = []
+    max_attempts = retries + 1
+
+    def on_failure(meta: _Attempt, error: BaseException | None,
+                   kind: str) -> bool:
+        """Register a failed attempt; True when the shard may retry."""
+        meta.last_error = error
+        meta.last_kind = kind
+        if meta.attempt < max_attempts:
+            delay = retry_delay(spec.seed, meta.start, meta.attempt,
+                                base=backoff_base, cap=backoff_cap)
+            meta.ready_at = time.monotonic() + delay
+            log.emit("retry", shard=meta.index, start=meta.start,
+                     stop=meta.stop, attempt=meta.attempt, delay_s=delay,
+                     error=meta.describe_error(), kind=kind)
+            return True
+        log.emit("failure", shard=meta.index, start=meta.start,
+                 stop=meta.stop, attempts=meta.attempt,
+                 error=meta.describe_error(), kind=kind)
+        failed.append(FailedShard(
+            index=meta.index, start=meta.start, stop=meta.stop,
+            attempts=meta.attempt, error=meta.describe_error(), kind=kind))
+        return False
+
+    def final_error(meta: _Attempt) -> BaseException:
+        if meta.last_error is not None:
+            return meta.last_error
+        return StudyExecutionError(
+            f"shard {meta.index} (cases [{meta.start}:{meta.stop})) failed "
+            f"{meta.attempt} attempt(s) by {meta.last_kind} "
+            f"(see the run journal for provenance)")
+
+    interrupted = False
+    try:
+        if jobs == 1 or not jobs_meta:
+            _run_inline(spec, context, jobs_meta, record, on_failure,
+                        final_error, keep_going, log)
+        else:
+            _run_supervised(spec, context, jobs_meta, record, on_failure,
+                            final_error, keep_going, jobs, shard_timeout, log)
+    except KeyboardInterrupt:
+        interrupted = True
+        log.emit("interrupt", completed=finished)
 
     table = build_table(spec, merge_shards(done))
-    return StudyRunReport(spec=spec, table=table, shards=total,
-                          reused_shards=reused,
-                          computed_shards=len(done) - reused, jobs=jobs)
+    report = StudyRunReport(
+        spec=spec, table=table, shards=total, reused_shards=reused,
+        computed_shards=len(done) - reused, jobs=jobs,
+        failed_shards=tuple(failed),
+        shard_attempts={index: meta.attempt
+                        for index, meta in jobs_meta.items() if meta.attempt},
+        interrupted=interrupted)
+    log.emit("run_end", computed=report.computed_shards,
+             reused=report.reused_shards, failed=len(report.failed_shards),
+             interrupted=interrupted, partial=report.partial,
+             wall_s=time.monotonic() - run_t0)
+    return report
+
+
+def _run_inline(spec, context, jobs_meta, record, on_failure, final_error,
+                keep_going, log) -> None:
+    """Inline (jobs=1) supervisor: retry/backoff without a process pool.
+
+    ``shard_timeout`` is not enforceable here (the attempt runs on this very
+    thread) and ``crash`` faults would take the caller down — both need
+    ``jobs > 1``.
+    """
+    queue = deque(jobs_meta.values())
+    while queue:
+        meta = queue.popleft()
+        wait = meta.ready_at - time.monotonic()
+        if wait > 0:
+            time.sleep(wait)
+        meta.attempt += 1
+        log.emit("submit", shard=meta.index, start=meta.start, stop=meta.stop,
+                 attempt=meta.attempt)
+        t0 = time.monotonic()
+        try:
+            _, shard = _run_shard((spec, meta.start, meta.stop, context,
+                                   meta.index, meta.attempt))
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            if on_failure(meta, exc, "error"):
+                queue.append(meta)
+            elif not keep_going:
+                raise final_error(meta) from None
+            continue
+        record(meta.index, meta.start, meta.stop, shard, meta.attempt,
+               time.monotonic() - t0)
+
+
+def _run_supervised(spec, context, jobs_meta, record, on_failure, final_error,
+                    keep_going, jobs, shard_timeout, log) -> None:
+    """Process-pool supervisor loop: at most ``jobs`` shards in flight.
+
+    Shards are submitted only when a worker slot is free, so each attempt's
+    wall clock (the ``shard_timeout`` reference point) starts when the
+    worker actually starts, not when the shard was queued behind others.
+    """
+    shipped = {k: context[k] for k in _PICKLABLE_CONTEXT_KEYS if k in context}
+    workers = min(jobs, max(1, len(jobs_meta)))
+    queue: deque[_Attempt] = deque(jobs_meta.values())
+    running: dict[concurrent.futures.Future, tuple[_Attempt, float]] = {}
+    pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+
+    def submit(meta: _Attempt) -> None:
+        meta.attempt += 1
+        log.emit("submit", shard=meta.index, start=meta.start, stop=meta.stop,
+                 attempt=meta.attempt)
+        future = pool.submit(_run_shard, (spec, meta.start, meta.stop,
+                                          shipped, meta.index, meta.attempt))
+        running[future] = (meta, time.monotonic())
+
+    def rebuild(lost_reason: str) -> None:
+        """Tear down the pool, requeue in-flight shards, start fresh."""
+        nonlocal pool
+        lost = [meta for meta, _ in running.values()]
+        running.clear()
+        _kill_pool(pool)
+        log.emit("pool_broken", lost=[meta.index for meta in lost],
+                 reason=lost_reason)
+        pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+        for meta in lost:
+            # The in-flight attempt died with the pool: it counts against
+            # the budget (a crashing shard must not retry forever), and the
+            # shard re-enters the queue behind its deterministic backoff.
+            if on_failure(meta, meta.last_error, meta.last_kind):
+                queue.append(meta)
+            elif not keep_going:
+                raise final_error(meta) from None
+
+    try:
+        while queue or running:
+            now = time.monotonic()
+            # Fill free worker slots with shards whose backoff has elapsed.
+            for _ in range(len(queue)):
+                if len(running) >= workers:
+                    break
+                meta = queue.popleft()
+                if meta.ready_at > now:
+                    queue.append(meta)  # not ready; rotate
+                    continue
+                try:
+                    submit(meta)
+                except concurrent.futures.BrokenExecutor:
+                    # The pool broke before we noticed (submit is the first
+                    # call to see it): the attempt never ran, but the pool
+                    # loss is real — charge it and rebuild.
+                    if on_failure(meta, None, "crash"):
+                        queue.append(meta)
+                    elif not keep_going:
+                        raise final_error(meta) from None
+                    for other, _ in running.values():
+                        other.last_error = None
+                        other.last_kind = "crash"
+                    rebuild("worker process lost (detected at submit)")
+                    break
+            if not running:
+                if queue:  # everyone is backing off — sleep to the earliest
+                    time.sleep(max(0.0, min(m.ready_at for m in queue) - now))
+                continue
+
+            finished_futures = concurrent.futures.wait(
+                list(running), timeout=_POLL_S,
+                return_when=concurrent.futures.FIRST_COMPLETED).done
+            broken = False
+            for future in finished_futures:
+                meta, t0 = running.pop(future)
+                try:
+                    _, shard = future.result()
+                except (BrokenProcessPool,
+                        concurrent.futures.BrokenExecutor):
+                    # A hard-killed worker poisons every in-flight future;
+                    # keep collecting (a shard may still have finished in
+                    # this round) and rebuild once below.
+                    meta.last_error = None
+                    meta.last_kind = "crash"
+                    running[future] = (meta, t0)
+                    broken = True
+                    continue
+                except Exception as exc:
+                    if on_failure(meta, exc, "error"):
+                        queue.append(meta)
+                    elif not keep_going:
+                        raise final_error(meta) from None
+                    continue
+                record(meta.index, meta.start, meta.stop, shard,
+                       meta.attempt, time.monotonic() - t0)
+            if broken:
+                for meta, _ in running.values():
+                    meta.last_error = None
+                    meta.last_kind = "crash"
+                rebuild("worker process lost (BrokenProcessPool)")
+                continue
+
+            # Wall-clock timeout: a hung worker cannot be cancelled through
+            # the future, so the pool is torn down and rebuilt.
+            if shard_timeout is not None:
+                now = time.monotonic()
+                timed_out = [(future, meta, t0)
+                             for future, (meta, t0) in running.items()
+                             if now - t0 > shard_timeout]
+                if timed_out:
+                    for future, meta, t0 in timed_out:
+                        log.emit("timeout", shard=meta.index, start=meta.start,
+                                 stop=meta.stop, attempt=meta.attempt,
+                                 timeout_s=shard_timeout)
+                        meta.last_error = None
+                        meta.last_kind = "timeout"
+                    for meta, _ in running.values():
+                        if meta.last_kind != "timeout":
+                            meta.last_error = None
+                            meta.last_kind = "crash"
+                    rebuild(f"shard timeout after {shard_timeout}s")
+    finally:
+        _kill_pool(pool)

@@ -1,0 +1,187 @@
+"""Store-damage coverage: the disk cache layer must never raise.
+
+Satellite 3 of ISSUE-7: truncated ``.npz`` bundles, zero-byte files,
+wrong-checksum tampering and an unwritable ``cache_dir`` mid-run must each
+quarantine/recompute (or degrade to memory-only) instead of raising through
+the engine.  Exercised at both layers — :class:`repro.scenario.cache.ArrayCache`
+directly, and :class:`repro.study.StudyStore` through a full ``run_study``.
+"""
+
+import zipfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.scenario.cache import QUARANTINE_DIR, ArrayCache, ProfileCache
+from repro.study import StudyStore, parse_study, run_study
+
+MC_TEXT = """
+name: mc-tiny
+engine: mc
+seed: 7
+axes:
+  sigma_db: [2.0, 4.0]
+  isd_m: [2000.0, 2400.0]
+fixed:
+  n_repeaters: 8
+  trials: 12
+  resolution_m: 50.0
+"""
+
+
+class VectorCache(ArrayCache):
+    """Minimal concrete cache: values are 1-D float arrays."""
+
+    def _pack(self, value):
+        return {"v": np.asarray(value, dtype=np.float64)}
+
+    def _unpack(self, arrays):
+        return arrays["v"]
+
+
+def fresh_cache(tmp_path):
+    """A disk-backed cache holding one entry, with the memory layer dropped
+    so the next ``get_by_hash`` must go through the disk path."""
+    cache = VectorCache(cache_dir=tmp_path)
+    cache.put_by_hash("k1", np.arange(5.0))
+    cache._memory.clear()
+    return cache
+
+
+def bundle_path(tmp_path) -> Path:
+    return tmp_path / "k1.npz"
+
+
+class TestDamagedBundles:
+    def test_clean_round_trip_via_disk(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        value = cache.get_by_hash("k1")
+        np.testing.assert_array_equal(value, np.arange(5.0))
+        assert cache.quarantined == 0
+
+    def test_truncated_npz_is_quarantined(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        path = bundle_path(tmp_path)
+        path.write_bytes(path.read_bytes()[:40])
+        assert cache.get_by_hash("k1") is None
+        assert cache.quarantined == 1
+        assert not path.exists()
+        assert (tmp_path / QUARANTINE_DIR / "k1.npz").exists()
+
+    def test_zero_byte_file_is_quarantined(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        bundle_path(tmp_path).write_bytes(b"")
+        assert cache.get_by_hash("k1") is None
+        assert cache.quarantined == 1
+        assert (tmp_path / QUARANTINE_DIR / "k1.npz").exists()
+
+    def test_wrong_checksum_is_quarantined(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        path = bundle_path(tmp_path)
+        # Re-pack the bundle with one array bit-flipped but the original
+        # checksum entry kept: structurally valid, content tampered.
+        with np.load(path) as data:
+            arrays = {name: data[name] for name in data.files}
+        arrays["v"] = arrays["v"] + 1.0
+        np.savez(path, **arrays)
+        assert cache.get_by_hash("k1") is None
+        assert cache.quarantined == 1
+        assert (tmp_path / QUARANTINE_DIR / "k1.npz").exists()
+
+    def test_legacy_bundle_without_checksum_still_loads(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        path = bundle_path(tmp_path)
+        with np.load(path) as data:
+            arrays = {name: data[name] for name in data.files
+                      if name != "__checksum__"}
+        np.savez(path, **arrays)
+        np.testing.assert_array_equal(cache.get_by_hash("k1"), np.arange(5.0))
+        assert cache.quarantined == 0
+
+    def test_not_a_zip_at_all(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        bundle_path(tmp_path).write_bytes(b"PK\x03\x04torn-by-fault-injection")
+        assert cache.get_by_hash("k1") is None
+        assert cache.quarantined == 1
+
+    def test_recompute_after_quarantine_round_trips(self, tmp_path):
+        cache = fresh_cache(tmp_path)
+        bundle_path(tmp_path).write_bytes(b"")
+        assert cache.get_by_hash("k1") is None
+        cache.put_by_hash("k1", np.arange(5.0))
+        cache._memory.clear()
+        np.testing.assert_array_equal(cache.get_by_hash("k1"), np.arange(5.0))
+
+    def test_bundle_is_checksummed_on_disk(self, tmp_path):
+        fresh_cache(tmp_path)
+        with np.load(bundle_path(tmp_path)) as data:
+            assert "__checksum__" in data.files
+            digest = str(data["__checksum__"])
+        assert len(digest) == 64
+
+
+class TestUnwritableCacheDir:
+    def test_write_degrades_to_memory_only(self, tmp_path):
+        cache = VectorCache(cache_dir=tmp_path)
+        # Yank the directory out from under the cache mid-run: subsequent
+        # writes hit OSError.  (chmod is ineffective as root, so replace the
+        # directory with a regular file instead.)
+        cache.cache_dir = tmp_path / "gone" / "deeper"
+        cache.put_by_hash("k1", np.arange(3.0))
+        assert cache.disk_errors == 1
+        np.testing.assert_array_equal(cache.get_by_hash("k1"), np.arange(3.0))
+
+    def test_engine_survives_unwritable_store(self, tmp_path):
+        store = StudyStore(cache_dir=tmp_path / "store")
+        store.cache_dir = tmp_path / "blocker" / "store"
+        (tmp_path / "blocker").write_text("a file where a dir should be")
+        spec = parse_study(MC_TEXT)
+        report = run_study(spec, shards=2, store=store)
+        assert not report.partial
+        assert store.disk_errors >= 2  # both shard writes degraded
+        assert len(report.table) == 4
+
+
+class TestStudyStoreDamage:
+    def test_atomic_write_leaves_no_tmp_files(self, tmp_path):
+        store = StudyStore(cache_dir=tmp_path)
+        run_study(parse_study(MC_TEXT), shards=2, store=store)
+        leftovers = [p for p in tmp_path.iterdir() if ".tmp" in p.name]
+        assert not leftovers
+
+    def test_all_bundles_are_valid_zipfiles(self, tmp_path):
+        store = StudyStore(cache_dir=tmp_path)
+        run_study(parse_study(MC_TEXT), shards=2, store=store)
+        bundles = sorted(tmp_path.glob("*.npz"))
+        assert len(bundles) == 2
+        for path in bundles:
+            assert zipfile.is_zipfile(path)
+
+    def test_damaged_shard_recomputed_not_raised(self, tmp_path):
+        spec = parse_study(MC_TEXT)
+        run_study(spec, shards=2, store=StudyStore(cache_dir=tmp_path))
+        clean = run_study(spec, shards=2,
+                          store=StudyStore(cache_dir=tmp_path)).table.long()
+        victim = sorted(tmp_path.glob("*.npz"))[0]
+        victim.write_bytes(victim.read_bytes()[:100])
+        store = StudyStore(cache_dir=tmp_path)
+        report = run_study(spec, shards=2, store=store)
+        assert report.table.long() == clean
+        assert store.quarantined == 1
+        assert report.reused_shards == 1 and report.computed_shards == 1
+
+
+class TestProfileCacheStillWorks:
+    """The hardening must not disturb the existing ProfileCache contract."""
+
+    def test_profile_round_trip_with_checksum(self, tmp_path):
+        from repro.scenario.spec import Scenario
+
+        cache = ProfileCache(cache_dir=tmp_path)
+        scenario = Scenario.uniform(2000.0, 4, resolution_m=100.0)
+        profile = cache.get_or_compute(scenario)
+        cache._memory.clear()
+        again = cache.get(scenario)
+        np.testing.assert_array_equal(profile.snr_db, again.snr_db)
+        assert cache.quarantined == 0

@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""CI chaos smoke: run a shipped study under injected faults, assert parity.
+
+Usage::
+
+    PYTHONPATH=src python tools/chaos_smoke.py [--study studies/sim_grid.yaml]
+
+Three subprocess legs through the real ``repro study run`` CLI:
+
+1. **clean** — the study as shipped, ``--jobs 2`` (exit 0, reference rows);
+2. **chaos** — the same study with an injected hard-crash and a hang fault,
+   ``--retries 3 --shard-timeout 5`` (exit 0; the supervisor must recover
+   and the merged rows must be byte-identical to the clean leg);
+3. **quarantine** — an unrecoverable fault plan under ``--keep-going``
+   (exit 4: completed with failed shards).
+
+When ``BENCH_JSON_DIR`` is set, the chaos leg's ``run.jsonl`` journal is
+copied there and a ``BENCH_chaos.json`` record (exit codes, wall times,
+retry/timeout event counts, parity verdict) is written, so the recovery
+evidence rides the same CI artifact as the perf records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.study import read_journal  # noqa: E402
+
+
+def run_cli(args: list[str], label: str) -> tuple[int, float]:
+    """Run ``repro study run`` in a subprocess; return (exit code, wall s)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    command = [sys.executable, "-m", "repro", "study", "run", *args]
+    print(f"[chaos-smoke] {label}: {' '.join(command[3:])}")
+    t0 = time.perf_counter()
+    proc = subprocess.run(command, cwd=REPO, env=env)
+    wall_s = time.perf_counter() - t0
+    print(f"[chaos-smoke] {label}: exit {proc.returncode} in {wall_s:.1f}s")
+    return proc.returncode, wall_s
+
+
+def load_rows(path: Path) -> list[dict]:
+    return json.loads(path.read_text())["rows"]
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--study", default=str(REPO / "studies/sim_grid.yaml"),
+                        help="study document to run (default: sim_grid.yaml)")
+    parser.add_argument("--shards", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    work = Path(tempfile.mkdtemp(prefix="chaos-smoke-"))
+    store_dir = work / "store"
+    record: dict = {"study": args.study, "shards": args.shards}
+    try:
+        # Leg 1: clean reference.
+        clean_json = work / "clean.json"
+        code, record["clean_s"] = run_cli(
+            [args.study, "--quiet", "--jobs", "2",
+             "--shards", str(args.shards), "--json", str(clean_json)],
+            "clean")
+        if code != 0:
+            print(f"[chaos-smoke] FAIL: clean run exited {code}")
+            return 1
+
+        # Leg 2: crash + hang faults; the supervisor must converge to the
+        # same rows.  The hang is cut short by --shard-timeout.
+        plan = work / "plan.json"
+        plan.write_text(json.dumps({"faults": [
+            {"shard": 0, "attempt": 1, "action": "crash"},
+            {"shard": 2, "attempt": 1, "action": "hang", "hang_s": 600.0},
+        ]}))
+        chaos_json = work / "chaos.json"
+        code, record["chaos_s"] = run_cli(
+            [args.study, "--quiet", "--jobs", "2",
+             "--shards", str(args.shards), "--retries", "3",
+             "--shard-timeout", "5", "--fault-plan", str(plan),
+             "--store", str(store_dir), "--json", str(chaos_json)],
+            "chaos")
+        if code != 0:
+            print(f"[chaos-smoke] FAIL: chaos run exited {code}, expected 0")
+            return 1
+        parity = load_rows(chaos_json) == load_rows(clean_json)
+        record["rows_identical"] = parity
+        if not parity:
+            print("[chaos-smoke] FAIL: recovered rows differ from clean run")
+            return 1
+
+        journal = store_dir / "run.jsonl"
+        events = read_journal(journal)
+        counts = {kind: sum(1 for e in events if e["event"] == kind)
+                  for kind in ("retry", "timeout", "pool_broken", "finish")}
+        record["journal_events"] = counts
+        if counts["retry"] < 2 or counts["timeout"] < 1 \
+                or counts["pool_broken"] < 1:
+            print(f"[chaos-smoke] FAIL: journal missing recovery evidence "
+                  f"({counts})")
+            return 1
+
+        # Leg 3: unrecoverable fault under --keep-going -> exit 4.
+        doomed = work / "doomed.json"
+        doomed.write_text(json.dumps({"faults": [
+            {"shard": 1, "attempt": attempt, "action": "raise"}
+            for attempt in range(1, 4)
+        ]}))
+        code, record["quarantine_s"] = run_cli(
+            [args.study, "--quiet", "--shards", str(args.shards),
+             "--retries", "2", "--keep-going", "--fault-plan", str(doomed)],
+            "quarantine")
+        record["quarantine_exit"] = code
+        if code != 4:
+            print(f"[chaos-smoke] FAIL: quarantine run exited {code}, "
+                  "expected 4")
+            return 1
+
+        out_dir = os.environ.get("BENCH_JSON_DIR")
+        if out_dir:
+            out = Path(out_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            shutil.copy(journal, out / "chaos_run.jsonl")
+            (out / "BENCH_chaos.json").write_text(
+                json.dumps(record, indent=2, sort_keys=True) + "\n")
+        print("[chaos-smoke] PASS: recovered table identical, exit codes "
+              "0/0/4, journal has retry+timeout+pool_broken evidence")
+        return 0
+    finally:
+        shutil.rmtree(work, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
