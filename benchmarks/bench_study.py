@@ -18,12 +18,17 @@ full retry/timeout machinery armed (``retries=2``, a generous
 pooled wall time — the fault-tolerance layer is free when nothing fails.
 The overhead gate rides in the same ``BENCH_study.json`` record (as
 ``overhead.speedup`` = plain / supervised, threshold 1/1.1).
+
+A journal-emit micro-benchmark rides along in ``overhead.journal``: the
+persistent-append-handle :class:`~repro.study.journal.RunJournal` writer
+vs. a naive open/write/close per event, over the same record shape.
 """
 
+import json
 import os
 import time
 
-from repro.study import parse_study, run_study
+from repro.study import RunJournal, parse_study, run_study
 
 JOBS = 4
 THRESHOLD = 2.0
@@ -47,7 +52,46 @@ derived:
 """
 
 
-def bench_study_parallel_speedup(benchmark, bench_json):
+#: Events per leg of the journal-emit micro-benchmark.
+JOURNAL_EVENTS = 2000
+
+
+def _bench_journal_emit(tmp_dir) -> dict:
+    """Persistent-handle vs open/write/close-per-event journal appends.
+
+    The :class:`~repro.study.journal.RunJournal` writer keeps one append
+    handle open across a run (one ``write`` + ``flush`` per event); the
+    naive alternative reopens the file for every event.  Both legs write
+    the same ``finish``-shaped records; the ratio lands in the
+    ``overhead.journal`` node of ``BENCH_study.json``.
+    """
+    fields = {"shard": 3, "start": 0, "stop": 64, "attempt": 1,
+              "wall_s": 0.25}
+
+    naive_path = os.path.join(tmp_dir, "naive.jsonl")
+    t0 = time.perf_counter()
+    for _ in range(JOURNAL_EVENTS):
+        record = {"event": "finish", "t": time.time(), **fields}
+        with open(naive_path, "a") as handle:
+            handle.write(json.dumps(record) + "\n")
+    naive_s = time.perf_counter() - t0
+
+    journal = RunJournal(os.path.join(tmp_dir, "run.jsonl"))
+    t0 = time.perf_counter()
+    for _ in range(JOURNAL_EVENTS):
+        journal.emit("finish", **fields)
+    persistent_s = time.perf_counter() - t0
+    journal.close()
+
+    return {
+        "events": JOURNAL_EVENTS,
+        "naive_open_close_s": naive_s,
+        "persistent_handle_s": persistent_s,
+        "speedup": naive_s / persistent_s,
+    }
+
+
+def bench_study_parallel_speedup(benchmark, bench_json, tmp_path):
     spec = parse_study(STUDY_TEXT)
     assert spec.case_count == 8
 
@@ -101,6 +145,7 @@ def bench_study_parallel_speedup(benchmark, bench_json):
             "speedup": overhead_speedup,
             "threshold": 1.0 / (1.0 + OVERHEAD_FRAC),
             "enforced": timing_enforced,
+            "journal": _bench_journal_emit(tmp_path),
         },
     })
     # Shared CI runners have noisy neighbours and unstable clocks, so the

@@ -15,6 +15,8 @@ Examples::
 
     repro docs build --strict   # build the documentation site from source
     repro docs api --check      # verify the generated API reference is fresh
+
+    repro serve --store .service --port 8765   # scenario-planning HTTP API
 """
 
 from __future__ import annotations
@@ -27,7 +29,7 @@ from repro.experiments.runner import ALL_EXPERIMENTS, run_all, run_experiment
 from repro.scenario.cache import ProfileCache
 from repro.solar.batch import WeatherCache
 
-__all__ = ["main", "build_parser", "study_main", "docs_main"]
+__all__ = ["main", "build_parser", "study_main", "docs_main", "serve_main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -343,6 +345,74 @@ def docs_main(argv: list[str]) -> int:
     return docs_command(argv)
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=("Run the scenario-planning HTTP service (JSON job API "
+                     "over the study runner; see docs/service.md)"),
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: %(default)s)")
+    parser.add_argument("--port", type=int, default=8765,
+                        help="bind port, 0 picks a free one "
+                             "(default: %(default)s)")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="service state directory: study shards, "
+                             "jobs.jsonl and per-job run journals; enables "
+                             "crash recovery and resume (default: in-memory)")
+    parser.add_argument("--workers", type=int, default=2, metavar="N",
+                        help="concurrent job-executing threads "
+                             "(default: %(default)s)")
+    parser.add_argument("--queue-depth", type=int, default=8, metavar="N",
+                        help="admission bound on waiting jobs; beyond it "
+                             "submissions get 429 (default: %(default)s)")
+    parser.add_argument("--per-client", type=int, default=4, metavar="N",
+                        help="per-client open-job cap (default: %(default)s)")
+    parser.add_argument("--max-job-procs", type=int, default=1, metavar="N",
+                        help="clamp on worker processes per job "
+                             "(default: %(default)s)")
+    parser.add_argument("--drain-grace", type=float, default=30.0,
+                        metavar="S",
+                        help="SIGTERM drain budget [s] before in-flight "
+                             "jobs are checkpointed (default: %(default)s)")
+    return parser
+
+
+def serve_main(argv: list[str]) -> int:
+    """Entry point of ``repro serve`` (runs until SIGTERM/SIGINT drains)."""
+    import signal
+
+    from repro.errors import ReproError
+    from repro.service import ScenarioService
+
+    args = build_serve_parser().parse_args(argv)
+    try:
+        service = ScenarioService(args.host, args.port, args.store,
+                                  workers=args.workers,
+                                  max_queue=args.queue_depth,
+                                  max_per_client=args.per_client,
+                                  max_job_procs=args.max_job_procs,
+                                  drain_grace_s=args.drain_grace)
+        service.start()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: service.initiate_shutdown())
+    store = args.store if args.store is not None else "<in-memory>"
+    print(f"serving on http://{args.host}:{service.port}  "
+          f"(store: {store}, workers: {args.workers})", file=sys.stderr,
+          flush=True)
+    service.serve_forever()
+    stats = service.queue.stats()
+    open_jobs = stats["queued"] + stats["running"]
+    return 0 if open_jobs == 0 else 3
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -350,6 +420,8 @@ def main(argv: list[str] | None = None) -> int:
         return study_main(list(argv[1:]))
     if argv[:1] == ["docs"]:
         return docs_main(list(argv[1:]))
+    if argv[:1] == ["serve"]:
+        return serve_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
 
     if args.experiment == "list":

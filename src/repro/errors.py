@@ -14,6 +14,9 @@ __all__ = [
     "InfeasibleError",
     "SimulationError",
     "StudyExecutionError",
+    "ServiceError",
+    "AdmissionError",
+    "UnknownJobError",
 ]
 
 
@@ -45,3 +48,26 @@ class StudyExecutionError(ReproError, RuntimeError):
     timeout, or a worker process killed hard (OOM/SIGKILL).  Engine
     exceptions themselves are re-raised unchanged after the last attempt.
     """
+
+
+class ServiceError(ReproError, RuntimeError):
+    """Base class for scenario-planning service failures (:mod:`repro.service`)."""
+
+
+class AdmissionError(ServiceError):
+    """A job submission was refused by admission control (HTTP 429).
+
+    Raised when the bounded job queue is at capacity or the submitting
+    client already has its maximum number of jobs in flight.  Carries a
+    ``retry_after_s`` hint the HTTP edge forwards as a ``Retry-After``
+    header — overload is load-shed at the door, never queued unboundedly.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        #: Suggested wait before resubmitting [s] (``Retry-After`` header).
+        self.retry_after_s = float(retry_after_s)
+
+
+class UnknownJobError(ServiceError, KeyError):
+    """A job id does not exist in the service's job store (HTTP 404)."""

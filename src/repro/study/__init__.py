@@ -22,7 +22,7 @@ the shipped examples mirroring the ``sim-grid`` / ``robustness-grid`` /
 
 from repro.study.engines import STUDY_ENGINES, EngineAdapter, run_cases
 from repro.study.expressions import compile_expression
-from repro.study.journal import RunJournal, read_journal
+from repro.study.journal import RunJournal, read_journal, scan_journal
 from repro.study.results import StudyStore, StudyTable, build_table, merge_shards
 from repro.study.runner import (
     FailedShard,
@@ -40,6 +40,7 @@ __all__ = [
     "compile_expression",
     "RunJournal",
     "read_journal",
+    "scan_journal",
     "StudyStore",
     "StudyTable",
     "build_table",

@@ -6,7 +6,10 @@ directory), recording the full shard lifecycle: submissions, completions,
 retries with their backoff delays, wall-clock timeouts, pool rebuilds,
 quarantined failures and the final run outcome.  The journal is *append
 only* — an interrupted or crashed run leaves every event written so far, so
-post-mortems never depend on the process surviving.
+post-mortems never depend on the process surviving.  The writer keeps one
+persistent append handle (flushed per event) instead of reopening the file
+for every event; ``run_end`` closes it, and a later emit transparently
+reopens.
 
 Event schema (one JSON object per line)::
 
@@ -23,28 +26,49 @@ finish      shard, start, stop, attempt, wall_s
 retry       shard, start, stop, attempt (the one that failed), delay_s,
             error, kind ("error" | "timeout" | "crash")
 timeout     shard, start, stop, attempt, timeout_s
-pool_broken lost (list of shard indices requeued)
+pool_broken lost (list of shard indices requeued), reason
 layout_mismatch  stored (list of [start, stop]), current (list of [start, stop])
 failure     shard, start, stop, attempts, error, kind
 interrupt   completed
-run_end     computed, reused, failed, interrupted, partial, wall_s
+cancel      completed
+run_end     computed, reused, failed, interrupted, cancelled, partial,
+            wall_s
 ========== =================================================================
 
-:func:`read_journal` parses a journal back into dictionaries (skipping
-torn trailing lines, which an interrupted writer can legitimately leave).
+This table is load-bearing: ``tests/test_journal_schema.py`` introspects
+every ``emit(...)`` call site in the runner (and the service job store) and
+asserts the emitted event names and field sets match it, so the journal
+schema cannot drift from its documentation.
+
+:func:`read_journal` parses a journal back into dictionaries.  A torn
+**final** line — the one artifact an interrupted writer can legitimately
+leave — is skipped silently; malformed lines *before* the end of the file
+mean real corruption and are surfaced (skipped, counted and warned about)
+instead of being silently dropped.  :func:`scan_journal` returns the
+skipped count programmatically.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
+import warnings
 from pathlib import Path
 
-__all__ = ["RunJournal", "read_journal"]
+__all__ = ["RunJournal", "read_journal", "scan_journal"]
 
 
 class RunJournal:
     """Append-only JSONL event writer (no-op when constructed with ``None``).
+
+    The file handle opens lazily on the first :meth:`emit`, stays open
+    across events (one ``write`` + ``flush`` per event instead of an
+    open/write/close cycle), and closes on ``run_end`` or :meth:`close`.
+    Emitting after a close transparently reopens in append mode, so one
+    journal instance can observe several consecutive runs.  Writes are
+    serialized by an internal lock, so concurrently supervising threads
+    (e.g. the service job queue) never interleave partial lines.
 
     Args:
         path: Journal file to append to (parents are created), or ``None``
@@ -53,6 +77,8 @@ class RunJournal:
 
     def __init__(self, path: str | Path | None) -> None:
         self.path = Path(path) if path is not None else None
+        self._handle = None
+        self._lock = threading.Lock()
         if self.path is not None:
             try:
                 self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -65,8 +91,9 @@ class RunJournal:
         """Append one event line; disk errors are swallowed.
 
         A journal must never take down the run it observes, so any
-        ``OSError`` from the append (disk full, permissions yanked
-        mid-run) is silently dropped.
+        ``OSError`` from the write (disk full, permissions yanked
+        mid-run) is silently dropped — the broken handle is discarded and
+        the next emit retries with a fresh one.
 
         Args:
             event: Event type (see the module schema table).
@@ -75,11 +102,67 @@ class RunJournal:
         if self.path is None:
             return
         record = {"event": event, "t": time.time(), **fields}
+        # No sort_keys: nested payloads (e.g. the service's persisted study
+        # documents) carry semantic mapping order — axes declaration order
+        # determines case enumeration — and must replay byte-faithfully.
+        line = json.dumps(record) + "\n"
+        with self._lock:
+            try:
+                if self._handle is None:
+                    self._handle = open(self.path, "a")
+                self._handle.write(line)
+                self._handle.flush()
+            except (OSError, ValueError):
+                self._close_handle()
+            if event == "run_end":
+                self._close_handle()
+
+    def close(self) -> None:
+        """Close the append handle (a later :meth:`emit` reopens it)."""
+        with self._lock:
+            self._close_handle()
+
+    def _close_handle(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:  # pragma: no cover - close on a dead handle
+                pass
+            self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def scan_journal(path: str | Path) -> tuple[list[dict], int]:
+    """Parse a journal file, separating events from corruption evidence.
+
+    Args:
+        path: The journal file.
+
+    Returns:
+        ``(events, skipped)`` — one dict per well-formed line, in file
+        order, and the number of malformed lines *before* the final line.
+        A torn final line (the legitimate trace of an interrupted writer)
+        is dropped without counting; a missing file reads as
+        ``([], 0)``.
+    """
+    path = Path(path)
+    if not path.exists():
+        return [], 0
+    lines = path.read_text().splitlines()
+    events: list[dict] = []
+    skipped = 0
+    for number, line in enumerate(lines, start=1):
         try:
-            with open(self.path, "a") as fh:
-                fh.write(json.dumps(record, sort_keys=True) + "\n")
-        except OSError:
-            pass
+            events.append(json.loads(line))
+        except ValueError:
+            if number < len(lines):
+                skipped += 1
+    return events, skipped
 
 
 def read_journal(path: str | Path) -> list[dict]:
@@ -90,19 +173,21 @@ def read_journal(path: str | Path) -> list[dict]:
 
     Returns:
         One dict per well-formed line, in file order.  A torn final line
-        (interrupted writer) is skipped rather than raised on; a missing
-        file reads as an empty journal.
+        (interrupted writer) is skipped silently; a missing file reads as
+        an empty journal.
+
+    Warns:
+        RuntimeWarning: When malformed lines occur *before* the final
+            line — mid-file corruption an append-only writer cannot
+            produce, so it is surfaced instead of silently skipped (the
+            warning carries the skipped-line count; use
+            :func:`scan_journal` to obtain it programmatically).
     """
-    path = Path(path)
-    if not path.exists():
-        return []
-    events = []
-    for line in path.read_text().splitlines():
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            events.append(json.loads(line))
-        except ValueError:
-            continue
+    events, skipped = scan_journal(path)
+    if skipped:
+        warnings.warn(
+            f"journal {str(path)!r}: skipped {skipped} malformed mid-file "
+            f"line(s) — an append-only writer only ever tears its final "
+            f"line, so this journal has been corrupted or hand-edited",
+            RuntimeWarning, stacklevel=2)
     return events

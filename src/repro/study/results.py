@@ -119,15 +119,23 @@ class StudyTable:
         raise ConfigurationError(
             f"unknown CSV layout {layout!r}; expected 'long' or 'wide'")
 
-    def write_json(self, path: str | Path, metadata: dict | None = None) -> Path:
-        """Write a JSON provenance document (study id + wide records).
+    def to_document(self, metadata: dict | None = None) -> dict:
+        """The JSON-ready provenance document (study id + wide records).
 
-        NaN cells (infeasible cases) are serialized as ``null`` so the output
-        is strict JSON.  ``metadata`` (e.g. the resolved kernel backend)
-        is embedded verbatim under a ``"metadata"`` key when given.
+        The exact structure :meth:`write_json` persists — also what the
+        scenario-planning service (:mod:`repro.service`) returns from its
+        result endpoint, so a CLI ``--json`` file and an HTTP response body
+        for the same study are interchangeable.  NaN cells (infeasible
+        cases) become ``None`` so the document is strict JSON.
+
+        Args:
+            metadata: Optional mapping embedded verbatim under a
+                ``"metadata"`` key (e.g. the resolved kernel backend).
+
+        Returns:
+            A plain dict with ``study``/``engine``/``axes``/``metrics``/
+            ``rows`` keys.
         """
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
         wide = self.wide()
         names = list(wide)
         rows = [{name: _json_cell(wide[name][i]) for name in names}
@@ -141,6 +149,19 @@ class StudyTable:
         }
         if metadata:
             document["metadata"] = dict(metadata)
+        return document
+
+    def write_json(self, path: str | Path, metadata: dict | None = None) -> Path:
+        """Write a JSON provenance document (study id + wide records).
+
+        NaN cells (infeasible cases) are serialized as ``null`` so the output
+        is strict JSON.  ``metadata`` (e.g. the resolved kernel backend)
+        is embedded verbatim under a ``"metadata"`` key when given (see
+        :meth:`to_document`).
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = self.to_document(metadata)
         path.write_text(json.dumps(document, indent=2) + "\n")
         return path
 

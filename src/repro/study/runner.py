@@ -35,6 +35,11 @@ supervisor treats them as schedulable events rather than run-enders:
   crashes/timeouts) after completed shards have been persisted;
 * ``KeyboardInterrupt`` cancels pending work, persists what finished and
   returns a partial report instead of losing the run;
+* a **programmatic cancellation hook** (``cancel=`` — any zero-argument
+  callable, e.g. ``threading.Event.is_set``) does the same under caller
+  control: the scenario-planning service uses it to enforce per-job
+  deadlines and drain shutdowns, mapping the resulting partial report to
+  an explicit ``"partial"`` job state;
 * every lifecycle event (submit / finish / retry / timeout / pool rebuild /
   failure / interrupt) lands in a structured JSONL journal
   (:mod:`repro.study.journal`), by default ``run.jsonl`` beside the store.
@@ -84,6 +89,15 @@ DEFAULT_MAX_SHARDS = 16
 
 #: Supervisor poll interval [s] while futures are in flight.
 _POLL_S = 0.05
+
+
+class _RunCancelled(BaseException):
+    """Internal control-flow signal: the ``cancel`` hook fired.
+
+    Derives from :class:`BaseException` (like ``KeyboardInterrupt``) so it
+    cannot be swallowed by engine-level ``except Exception`` handlers on its
+    way out of the supervisor loops.
+    """
 
 
 def shard_ranges(case_count: int, shards: int) -> list[tuple[int, int]]:
@@ -199,9 +213,11 @@ class StudyRunReport:
     """A finished (or partial) study run: the merged table + provenance.
 
     ``partial`` is True when some shards were never completed — because
-    ``max_shards`` stopped the run early, a ``KeyboardInterrupt`` cancelled
-    it (``interrupted``), or shards were quarantined (``failed_shards``);
-    re-running with the same store completes or re-attempts them.
+    ``max_shards`` stopped the run early, a ``KeyboardInterrupt`` stopped
+    it (``interrupted``), the programmatic ``cancel`` hook fired
+    (``cancelled`` — a service deadline or drain), or shards were
+    quarantined (``failed_shards``); re-running with the same store
+    completes or re-attempts them.
     """
 
     spec: StudySpec
@@ -213,6 +229,7 @@ class StudyRunReport:
     failed_shards: tuple[FailedShard, ...] = ()
     shard_attempts: dict = field(default_factory=dict)
     interrupted: bool = False
+    cancelled: bool = False
 
     @property
     def partial(self) -> bool:
@@ -228,6 +245,8 @@ class StudyRunReport:
         """One-line run summary for logs and the CLI."""
         if self.failed_shards:
             state = f"{len(self.failed_shards)} shards FAILED"
+        elif self.cancelled:
+            state = "cancelled"
         elif self.interrupted:
             state = "interrupted"
         elif self.partial:
@@ -290,7 +309,8 @@ def run_study(spec: StudySpec,
               keep_going: bool = False,
               backoff_base: float = 0.25,
               backoff_cap: float = 8.0,
-              journal: str | Path | RunJournal | None = None) -> StudyRunReport:
+              journal: str | Path | RunJournal | None = None,
+              cancel: Callable[[], bool] | None = None) -> StudyRunReport:
     """Execute a study under the supervisor and merge its shards.
 
     Args:
@@ -327,6 +347,14 @@ def run_study(spec: StudySpec,
             :class:`~repro.study.journal.RunJournal`, or ``None`` to default
             to ``run.jsonl`` inside the store's directory (no journal when
             the store has no disk layer).
+        cancel: Optional zero-argument callable polled by the supervisor
+            (e.g. ``threading.Event().is_set``).  When it returns true the
+            run stops like a ``KeyboardInterrupt`` would — no new shard
+            attempts start, in-flight pool attempts are abandoned (their
+            workers terminated), completed shards stay persisted — and the
+            report comes back with :attr:`StudyRunReport.cancelled` set.
+            This is the deadline/drain hook of the scenario-planning
+            service (:mod:`repro.service`).
 
     Returns:
         The :class:`StudyRunReport` with the merged
@@ -451,16 +479,21 @@ def run_study(spec: StudySpec,
             f"(see the run journal for provenance)")
 
     interrupted = False
+    cancelled = False
     try:
         if jobs == 1 or not jobs_meta:
             _run_inline(spec, context, jobs_meta, record, on_failure,
-                        final_error, keep_going, log)
+                        final_error, keep_going, log, cancel)
         else:
             _run_supervised(spec, context, jobs_meta, record, on_failure,
-                            final_error, keep_going, jobs, shard_timeout, log)
+                            final_error, keep_going, jobs, shard_timeout, log,
+                            cancel)
     except KeyboardInterrupt:
         interrupted = True
         log.emit("interrupt", completed=finished)
+    except _RunCancelled:
+        cancelled = True
+        log.emit("cancel", completed=finished)
 
     table = build_table(spec, merge_shards(done))
     report = StudyRunReport(
@@ -469,24 +502,27 @@ def run_study(spec: StudySpec,
         failed_shards=tuple(failed),
         shard_attempts={index: meta.attempt
                         for index, meta in jobs_meta.items() if meta.attempt},
-        interrupted=interrupted)
+        interrupted=interrupted, cancelled=cancelled)
     log.emit("run_end", computed=report.computed_shards,
              reused=report.reused_shards, failed=len(report.failed_shards),
-             interrupted=interrupted, partial=report.partial,
-             wall_s=time.monotonic() - run_t0)
+             interrupted=interrupted, cancelled=cancelled,
+             partial=report.partial, wall_s=time.monotonic() - run_t0)
     return report
 
 
 def _run_inline(spec, context, jobs_meta, record, on_failure, final_error,
-                keep_going, log) -> None:
+                keep_going, log, cancel=None) -> None:
     """Inline (jobs=1) supervisor: retry/backoff without a process pool.
 
     ``shard_timeout`` is not enforceable here (the attempt runs on this very
     thread) and ``crash`` faults would take the caller down — both need
-    ``jobs > 1``.
+    ``jobs > 1``.  The ``cancel`` hook is polled between shard attempts (a
+    running attempt cannot be preempted inline).
     """
     queue = deque(jobs_meta.values())
     while queue:
+        if cancel is not None and cancel():
+            raise _RunCancelled
         meta = queue.popleft()
         wait = meta.ready_at - time.monotonic()
         if wait > 0:
@@ -511,12 +547,16 @@ def _run_inline(spec, context, jobs_meta, record, on_failure, final_error,
 
 
 def _run_supervised(spec, context, jobs_meta, record, on_failure, final_error,
-                    keep_going, jobs, shard_timeout, log) -> None:
+                    keep_going, jobs, shard_timeout, log,
+                    cancel=None) -> None:
     """Process-pool supervisor loop: at most ``jobs`` shards in flight.
 
     Shards are submitted only when a worker slot is free, so each attempt's
     wall clock (the ``shard_timeout`` reference point) starts when the
     worker actually starts, not when the shard was queued behind others.
+    The ``cancel`` hook is polled once per supervisor round (every
+    ``_POLL_S`` while work is in flight); on cancellation the loop exits
+    immediately and the ``finally`` teardown terminates in-flight workers.
     """
     shipped = {k: context[k] for k in _PICKLABLE_CONTEXT_KEYS if k in context}
     workers = min(jobs, max(1, len(jobs_meta)))
@@ -552,6 +592,8 @@ def _run_supervised(spec, context, jobs_meta, record, on_failure, final_error,
 
     try:
         while queue or running:
+            if cancel is not None and cancel():
+                raise _RunCancelled
             now = time.monotonic()
             # Fill free worker slots with shards whose backoff has elapsed.
             for _ in range(len(queue)):
