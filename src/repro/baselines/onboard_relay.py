@@ -51,10 +51,20 @@ class OnboardRelayFleet:
             raise ConfigurationError(f"duty must be in [0, 1], got {self.duty}")
 
     @property
+    def active_power_per_train_w(self) -> float:
+        """Electrical power of one train's relays while they operate [W].
+
+        No duty factor: this is the draw during operation, the quantity to
+        multiply by actual occupancy (e.g. the network optimizer attributes
+        it per segment via train-presence time).
+        """
+        return (self.relays_per_train * self.relay_power_w
+                * (1.0 + self.cooling_overhead))
+
+    @property
     def average_power_per_train_w(self) -> float:
         """24 h-average electrical power of one train's relays."""
-        return (self.relays_per_train * self.relay_power_w
-                * (1.0 + self.cooling_overhead) * self.duty)
+        return self.active_power_per_train_w * self.duty
 
     def fleet_average_power_w(self, n_trains: int) -> float:
         """24 h-average power of a whole fleet."""

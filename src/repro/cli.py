@@ -17,6 +17,9 @@ Examples::
     repro docs api --check      # verify the generated API reference is fresh
 
     repro serve --store .service --port 8765   # scenario-planning HTTP API
+
+    repro network list                             # named corridor graphs
+    repro network optimize --graph national --energy-budget 125
 """
 
 from __future__ import annotations
@@ -29,7 +32,8 @@ from repro.experiments.runner import ALL_EXPERIMENTS, run_all, run_experiment
 from repro.scenario.cache import ProfileCache
 from repro.solar.batch import WeatherCache
 
-__all__ = ["main", "build_parser", "study_main", "docs_main", "serve_main"]
+__all__ = ["main", "build_parser", "study_main", "docs_main", "serve_main",
+           "network_main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -335,6 +339,115 @@ def study_main(argv: list[str]) -> int:
     return 3 if report.partial else 0
 
 
+# -- network optimizer --------------------------------------------------------
+
+
+def build_network_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro network",
+        description=("Optimize technology assignment and sleep policy over "
+                     "a corridor graph (see docs/network.md)"),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the named corridor graphs")
+
+    opt = sub.add_parser("optimize",
+                         help="assign one technology option per segment "
+                              "under global budgets")
+    opt.add_argument("--graph", default="national",
+                     help="named graph (default: %(default)s; see "
+                          "'repro network list')")
+    opt.add_argument("--segments", type=int, default=0, metavar="N",
+                     help="total segment count (default: the graph's "
+                          "named size)")
+    opt.add_argument("--demand-scale", type=float, default=1.0, metavar="X",
+                     help="multiplier on every corridor's trains/h "
+                          "(default: %(default)s)")
+    opt.add_argument("--energy-budget", type=float, default=None,
+                     metavar="W_PER_KM",
+                     help="global energy budget per track km [W/km] "
+                          "(default: unconstrained)")
+    opt.add_argument("--cost-budget", type=float, default=None,
+                     metavar="KEUR_PER_KM",
+                     help="global cost budget per track km [kEUR/km] over "
+                          "the horizon (default: unconstrained)")
+    opt.add_argument("--technologies",
+                     default="conventional,repeater,mobile_relay",
+                     metavar="A,B,...",
+                     help="candidate technology families, comma separated "
+                          "(default: %(default)s)")
+    opt.add_argument("--min-sleep-headway", type=float, default=300.0,
+                     metavar="S",
+                     help="a segment may sleep iff its mean headway is at "
+                          "least S seconds (default: %(default)s)")
+    opt.add_argument("--resolution", type=float, default=25.0, metavar="M",
+                     help="track grid of the radio feasibility check [m] "
+                          "(default: %(default)s)")
+    opt.add_argument("--horizon-years", type=float, default=10.0, metavar="Y",
+                     help="cost horizon [years] (default: %(default)s)")
+    opt.add_argument("--engine", choices=("batched", "scalar"),
+                     default="batched",
+                     help="frontier engine (scalar is the bit-identical "
+                          "per-segment reference; default: %(default)s)")
+    opt.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="thread sharding of the batched radio pass")
+    opt.add_argument("--limit", type=int, default=20, metavar="N",
+                     help="per-segment rows shown in the assignment table "
+                          "(default: %(default)s)")
+    opt.add_argument("--csv", metavar="FILE", default=None,
+                     help="write the full per-segment assignment as CSV")
+    opt.add_argument("--quiet", action="store_true",
+                     help="suppress the assignment table")
+    return parser
+
+
+def network_main(argv: list[str]) -> int:
+    """Entry point of the ``repro network`` subcommands."""
+    from repro.errors import ReproError
+    from repro.network import NAMED_GRAPHS, TechnologyCatalog, build_graph
+    from repro.network.optimize import optimize_network
+
+    args = build_network_parser().parse_args(argv)
+
+    if args.command == "list":
+        width = max(len(name) for name in NAMED_GRAPHS)
+        for name, default_segments in sorted(NAMED_GRAPHS.items()):
+            print(f"{name:<{width}}  {default_segments} segments (default)")
+        return 0
+
+    try:
+        graph = build_graph(args.graph, n_segments=args.segments,
+                            demand_scale=args.demand_scale)
+        catalog = TechnologyCatalog.from_names(
+            args.technologies, min_sleep_headway_s=args.min_sleep_headway)
+        plan = optimize_network(
+            graph, catalog,
+            energy_budget_w=(None if args.energy_budget is None
+                             else args.energy_budget * graph.length_km),
+            cost_budget_eur=(None if args.cost_budget is None
+                             else args.cost_budget * 1e3 * graph.length_km),
+            resolution_m=args.resolution,
+            horizon_years=args.horizon_years,
+            jobs=args.jobs, engine=args.engine)
+    except ReproError as exc:
+        print(f"network optimization failed: {exc}", file=sys.stderr)
+        return 1
+
+    if not args.quiet:
+        print(plan.table(limit=args.limit))
+    if args.csv is not None:
+        from repro.reporting.series import write_csv
+
+        names, labels, energy, cost, sleeping = zip(*plan.rows())
+        write_csv(args.csv, {
+            "segment": list(names), "option": list(labels),
+            "avg_power_w": list(energy), "cost_eur": list(cost),
+            "sleeping": [int(s) for s in sleeping],
+        })
+    return 0
+
+
 # -- documentation ------------------------------------------------------------
 
 
@@ -422,6 +535,8 @@ def main(argv: list[str] | None = None) -> int:
         return docs_main(list(argv[1:]))
     if argv[:1] == ["serve"]:
         return serve_main(list(argv[1:]))
+    if argv[:1] == ["network"]:
+        return network_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
 
     if args.experiment == "list":

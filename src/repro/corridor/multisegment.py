@@ -9,6 +9,7 @@ them.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.corridor.layout import CorridorLayout
@@ -34,7 +35,6 @@ class LineSection:
 
     @property
     def n_segments(self) -> int:
-        import math
         return math.ceil(self.length_km * 1000.0 / self.layout.isd_m)
 
     def average_power_w(self, params: EnergyParams | None = None) -> float:

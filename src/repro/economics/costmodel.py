@@ -29,13 +29,14 @@ class CostAssumptions:
     energy_price_per_kwh: float = 0.25
     hp_maintenance_per_year: float = 3_000.0   # per HP site
     lp_maintenance_per_year: float = 200.0     # per LP node
+    onboard_relay_capex: float = 25_000.0      # relay unit installed in a wagon
     discount_rate: float = 0.0                 # simple totals by default
 
     def __post_init__(self) -> None:
         for name in ("hp_site_capex", "repeater_capex", "donor_capex",
                      "pv_system_capex", "fiber_capex_per_km",
                      "energy_price_per_kwh", "hp_maintenance_per_year",
-                     "lp_maintenance_per_year"):
+                     "lp_maintenance_per_year", "onboard_relay_capex"):
             if getattr(self, name) < 0:
                 raise ConfigurationError(f"{name} must be >= 0")
         if not 0.0 <= self.discount_rate < 1.0:

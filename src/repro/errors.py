@@ -33,7 +33,19 @@ class GeometryError(ReproError, ValueError):
 
 
 class InfeasibleError(ReproError):
-    """An optimization found no feasible solution under the given constraints."""
+    """An optimization found no feasible solution under the given constraints.
+
+    Diagnostic keyword arguments (e.g. the violated ``budget`` and the true
+    ``minimum`` achievable) are stored in :attr:`details` and exposed as
+    attributes, so callers can report *how far* a constraint set is from
+    feasible without parsing the message.
+    """
+
+    def __init__(self, message: str, **details: object) -> None:
+        super().__init__(message)
+        self.details = details
+        for key, value in details.items():
+            setattr(self, key, value)
 
 
 class SimulationError(ReproError, RuntimeError):

@@ -1,0 +1,214 @@
+"""network — demand x budget x technology-mix sweep over a corridor graph.
+
+The national-network headline table: for every (demand scale, energy
+budget, technology mix) cell the ``network`` study engine builds the named
+corridor graph, computes the per-segment technology frontiers in one
+batched pass, and runs the Lagrangian assignment
+(:func:`repro.network.optimize.optimize_network`).  Budgets are expressed
+per track km so the same ladder is meaningful at any graph size; cells
+whose budget lies below the minimum achievable come back as infeasible
+(NaN) rows — the optimizer raises only after the full frontier scan, so
+the ``min_w_per_km`` column still reports how far away feasibility is.
+
+The sweep is declarative: :func:`network_study_spec` builds the
+:class:`~repro.study.spec.StudySpec` that ``studies/national_network.yaml``
+mirrors (same hash), and :func:`run_network` executes it through the
+sharded study runner.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.reporting.tables import format_table
+
+__all__ = ["NetworkRow", "NetworkResult", "run_network",
+           "network_study_spec"]
+
+#: Budget ladder [W/km]: 0 = unconstrained; 100 and 125 sit below the
+#: scale-2.0 minimum (~159 W/km on the national graph — infeasible cells),
+#: 175 is feasible everywhere but tight at high demand.
+_DEFAULT_BUDGETS = (0.0, 100.0, 125.0, 175.0)
+_DEFAULT_MIXES = ("conventional,repeater,mobile_relay", "conventional,repeater")
+
+
+@dataclass(frozen=True)
+class NetworkRow:
+    """One (demand scale, energy budget, technology mix) cell."""
+
+    demand_scale: float
+    energy_budget_w_per_km: float
+    technologies: str
+    total_cost_meur: float
+    total_energy_kw: float
+    min_w_per_km: float
+    mean_w_per_km: float
+    sleeping_segments: int
+    sleeping_fraction: float
+    n_conventional: int
+    n_repeater: int
+    n_mobile_relay: int
+    n_solar: int
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the budget was achievable (NaN row otherwise)."""
+        return not math.isnan(self.total_cost_meur)
+
+
+@dataclass(frozen=True)
+class NetworkResult:
+    """All sweep cells plus the graph provenance."""
+
+    graph: str
+    segments: int
+    rows: list[NetworkRow]
+    seed: int
+
+    def series(self) -> dict[str, list]:
+        """Column-oriented view (the golden-snapshot surface)."""
+        return {
+            "demand_scale": [r.demand_scale for r in self.rows],
+            "energy_budget_w_per_km": [r.energy_budget_w_per_km
+                                       for r in self.rows],
+            "technologies": [r.technologies for r in self.rows],
+            "feasible": [int(r.feasible) for r in self.rows],
+            "total_cost_meur": [r.total_cost_meur for r in self.rows],
+            "total_energy_kw": [r.total_energy_kw for r in self.rows],
+            "min_w_per_km": [r.min_w_per_km for r in self.rows],
+            "mean_w_per_km": [r.mean_w_per_km for r in self.rows],
+            "sleeping_segments": [r.sleeping_segments for r in self.rows],
+            "sleeping_fraction": [r.sleeping_fraction for r in self.rows],
+            "n_conventional": [r.n_conventional for r in self.rows],
+            "n_repeater": [r.n_repeater for r in self.rows],
+            "n_mobile_relay": [r.n_mobile_relay for r in self.rows],
+            "n_solar": [r.n_solar for r in self.rows],
+        }
+
+    def table(self) -> str:
+        """Render the headline table."""
+        rows = [[r.demand_scale, r.energy_budget_w_per_km,
+                 r.technologies.count(",") + 1,
+                 "yes" if r.feasible else "no",
+                 r.total_cost_meur, r.mean_w_per_km, r.sleeping_fraction,
+                 r.n_repeater, r.n_mobile_relay, r.n_solar]
+                for r in self.rows]
+        return format_table(
+            ["demand x", "budget [W/km]", "techs", "feasible", "cost [MEUR]",
+             "energy [W/km]", "sleep frac", "n rep", "n relay", "n solar"],
+            rows,
+            title=(f"network: {self.graph} graph, {self.segments} segments, "
+                   f"seed {self.seed}"))
+
+
+def network_study_spec(graph: str = "national",
+                       segments: int = 10_000,
+                       demand_scales=(0.5, 1.0, 2.0),
+                       energy_budgets_w_per_km=_DEFAULT_BUDGETS,
+                       technology_mixes=_DEFAULT_MIXES,
+                       resolution_m: float = 25.0,
+                       horizon_years: float = 10.0,
+                       seed: int = 0):
+    """The network sweep as a declarative :class:`~repro.study.spec.StudySpec`.
+
+    Args:
+        graph: Named graph from :data:`repro.network.presets.NAMED_GRAPHS`.
+        segments: Total segment count (0 = the named default).
+        demand_scales: Multipliers on every corridor's trains/h.
+        energy_budgets_w_per_km: Global energy budget per track km
+            (<= 0 = unconstrained).
+        technology_mixes: Comma-joined technology lists (study axes must be
+            scalars).
+        resolution_m / horizon_years: Frontier evaluation knobs.
+        seed: Root seed (the engine is deterministic; the seed only feeds
+            the CRN case-seed contract).
+
+    Returns:
+        A ``network``-engine spec with axes ``(demand_scale,
+        energy_budget_w_per_km, technologies)`` — the exact cell order of
+        :func:`run_network`.
+    """
+    from repro.study.spec import StudySpec
+
+    return StudySpec(
+        name="national-network",
+        engine="network",
+        description="Topology optimization (demand x energy budget x mix)",
+        axes=(
+            ("demand_scale", tuple(demand_scales)),
+            ("energy_budget_w_per_km", tuple(energy_budgets_w_per_km)),
+            ("technologies", tuple(technology_mixes)),
+        ),
+        fixed=(
+            ("graph", str(graph)),
+            ("segments", int(segments)),
+            ("resolution_m", float(resolution_m)),
+            ("horizon_years", float(horizon_years)),
+        ),
+        seed=seed,
+    )
+
+
+def run_network(graph: str = "national",
+                segments: int = 1500,
+                demand_scales=(0.5, 1.0, 2.0),
+                energy_budgets_w_per_km=_DEFAULT_BUDGETS,
+                technology_mixes=_DEFAULT_MIXES,
+                resolution_m: float = 25.0,
+                horizon_years: float = 10.0,
+                seed: int = 0,
+                jobs: int = 1) -> NetworkResult:
+    """Sweep (demand x budget x mix) through the network optimizer.
+
+    Compiles to a declarative study (:func:`network_study_spec`) executed
+    by the sharded runner — ``jobs > 1`` evaluates cells on a process pool,
+    bit-identical to the inline run.  The default ``segments=1500`` keeps
+    the in-process table (and its golden snapshot) fast; the shipped
+    ``studies/national_network.yaml`` runs the full 10 000-segment graph.
+
+    Args:
+        jobs: Worker processes for the study runner (default inline).
+        (Other arguments as in :func:`network_study_spec`.)
+
+    Returns:
+        The :class:`NetworkResult` with one :class:`NetworkRow` per cell.
+    """
+    from repro.study.runner import run_study
+
+    if not demand_scales or any(s < 0 for s in demand_scales):
+        raise ConfigurationError(
+            f"demand scales must be >= 0, got {demand_scales}")
+    if not energy_budgets_w_per_km:
+        raise ConfigurationError("need at least one energy budget")
+    if not technology_mixes:
+        raise ConfigurationError("need at least one technology mix")
+
+    spec = network_study_spec(graph=graph, segments=segments,
+                              demand_scales=demand_scales,
+                              energy_budgets_w_per_km=energy_budgets_w_per_km,
+                              technology_mixes=technology_mixes,
+                              resolution_m=resolution_m,
+                              horizon_years=horizon_years, seed=seed)
+    table = run_study(spec, jobs=jobs).table
+    columns = table.wide()
+    rows = [
+        NetworkRow(
+            demand_scale=columns["demand_scale"][i],
+            energy_budget_w_per_km=columns["energy_budget_w_per_km"][i],
+            technologies=columns["technologies"][i],
+            total_cost_meur=columns["total_cost_meur"][i],
+            total_energy_kw=columns["total_energy_kw"][i],
+            min_w_per_km=columns["min_w_per_km"][i],
+            mean_w_per_km=columns["mean_w_per_km"][i],
+            sleeping_segments=int(columns["sleeping_segments"][i]),
+            sleeping_fraction=columns["sleeping_fraction"][i],
+            n_conventional=int(columns["n_conventional"][i]),
+            n_repeater=int(columns["n_repeater"][i]),
+            n_mobile_relay=int(columns["n_mobile_relay"][i]),
+            n_solar=int(columns["n_solar"][i]))
+        for i in range(len(table))
+    ]
+    return NetworkResult(graph=graph, segments=segments, rows=rows,
+                         seed=seed)

@@ -31,6 +31,7 @@ from repro.experiments.extensions import (
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig4 import run_fig4
 from repro.experiments.maxisd import run_maxisd
+from repro.experiments.network import run_network
 from repro.experiments.simgrid import run_sim_grid
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
@@ -93,6 +94,9 @@ ALL_EXPERIMENTS: dict[str, ExperimentSpec] = {
         ExperimentSpec("sim-grid",
                        "Monte-Carlo day simulation (headway x trains/day x policy)",
                        run_sim_grid),
+        ExperimentSpec("network",
+                       "Topology optimization (demand x energy budget x mix)",
+                       run_network),
         ExperimentSpec("abl-noise", "Ablation: repeater-noise models", run_noise_ablation),
         ExperimentSpec("abl-place", "Ablation: repeater placement", run_placement_ablation),
         ExperimentSpec("abl-sleep", "Ablation: wake-transition time", run_sleep_ablation),

@@ -1,0 +1,247 @@
+"""Corridor-graph data model: corridors, segments, speed classes, demand.
+
+A :class:`NetworkGraph` is a validated tree — corridors with unique names,
+each an ordered tuple of :class:`NetworkSegment`\\ s — mirroring the
+validation discipline of :class:`repro.corridor.multisegment.LinePlan`,
+which it subsumes: :meth:`NetworkGraph.from_line_plan` lifts a line plan
+into a single-corridor graph whose fixed-technology evaluation reproduces
+the plan's energy totals exactly (see
+:func:`repro.network.frontier.fixed_options_power_w`).
+
+Demand is per segment: a :class:`DemandProfile` (trains/h, night quiet
+hours, train length) that combines with the segment's :class:`SpeedClass`
+into the :class:`repro.traffic.trains.TrafficParams` the duty-cycle energy
+model consumes.  Profiles can be derived from :mod:`repro.traffic`
+timetables (:meth:`DemandProfile.from_timetable`) or scaled for what-if
+sweeps (:meth:`DemandProfile.scaled` — the study layer's ``demand_scale``
+axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro import constants
+from repro.corridor.multisegment import LinePlan
+from repro.errors import ConfigurationError, GeometryError
+from repro.traffic.timetable import Timetable
+from repro.traffic.trains import Train, TrafficParams
+
+__all__ = ["SpeedClass", "SPEED_CLASSES", "DemandProfile", "NetworkSegment",
+           "Corridor", "NetworkGraph"]
+
+
+@dataclass(frozen=True)
+class SpeedClass:
+    """A line-speed category: the cruise speed trains run on such segments."""
+
+    name: str
+    train_speed_kmh: float
+
+    def __post_init__(self) -> None:
+        if self.train_speed_kmh <= 0:
+            raise ConfigurationError(
+                f"speed class {self.name!r}: speed must be positive, "
+                f"got {self.train_speed_kmh}")
+
+
+#: The shipped speed classes.  ``highspeed`` matches the paper's 200 km/h
+#: scenario (Table III), so a highspeed segment with the default demand
+#: profile reproduces the single-corridor energy numbers bit-identically.
+SPEED_CLASSES: dict[str, SpeedClass] = {
+    cls.name: cls for cls in (
+        SpeedClass("station", 80.0),
+        SpeedClass("regional", 160.0),
+        SpeedClass("highspeed", constants.TRAIN_SPEED_KMH),
+    )
+}
+
+
+@dataclass(frozen=True)
+class DemandProfile:
+    """Offered traffic demand on a segment (the Table III axes, per segment).
+
+    Defaults reproduce the paper's scenario: 8 trains/h over 19 service
+    hours, 400 m trains.  The cruise speed is *not* part of the profile —
+    it comes from the segment's :class:`SpeedClass` — so one profile can be
+    shared across heterogeneous segments of a corridor.
+    """
+
+    trains_per_hour: float = constants.TRAINS_PER_HOUR
+    night_quiet_hours: float = constants.NIGHT_QUIET_HOURS
+    train_length_m: float = constants.TRAIN_LENGTH_M
+
+    def __post_init__(self) -> None:
+        if self.trains_per_hour < 0:
+            raise ConfigurationError(
+                f"trains/h must be >= 0, got {self.trains_per_hour}")
+        if not 0 <= self.night_quiet_hours <= 24:
+            raise ConfigurationError(
+                f"night quiet hours must be within [0, 24], "
+                f"got {self.night_quiet_hours}")
+        if self.train_length_m <= 0:
+            raise ConfigurationError(
+                f"train length must be positive, got {self.train_length_m}")
+
+    @property
+    def headway_s(self) -> float:
+        """Mean time between trains during service hours (inf when idle)."""
+        if self.trains_per_hour == 0:
+            return float("inf")
+        return 3600.0 / self.trains_per_hour
+
+    def scaled(self, factor: float) -> "DemandProfile":
+        """The same profile with ``trains_per_hour`` scaled by ``factor``."""
+        if factor < 0:
+            raise ConfigurationError(f"demand factor must be >= 0, got {factor}")
+        return replace(self, trains_per_hour=self.trains_per_hour * factor)
+
+    def traffic(self, speed_kmh: float = constants.TRAIN_SPEED_KMH) -> TrafficParams:
+        """The :class:`TrafficParams` this demand implies at a cruise speed."""
+        return TrafficParams(
+            trains_per_hour=self.trains_per_hour,
+            night_quiet_hours=self.night_quiet_hours,
+            train=Train(length_m=self.train_length_m, speed_kmh=speed_kmh))
+
+    @classmethod
+    def from_timetable(cls, timetable: Timetable) -> "DemandProfile":
+        """Derive a demand profile from a concrete timetable.
+
+        The timetable's horizon is read as the daily service window (capped
+        at 24 h); the run count over that window gives trains/h and the
+        longest scheduled train sets the occupancy-relevant length.
+
+        Args:
+            timetable: A :class:`repro.traffic.timetable.Timetable` with at
+                least one run.
+
+        Returns:
+            The equivalent average-rate :class:`DemandProfile`.
+
+        Raises:
+            ConfigurationError: For an empty timetable.
+        """
+        if not timetable.runs:
+            raise ConfigurationError(
+                "cannot derive a demand profile from an empty timetable")
+        service_hours = min(24.0, timetable.horizon_s / 3600.0)
+        return cls(
+            trains_per_hour=len(timetable.runs) / service_hours,
+            night_quiet_hours=24.0 - service_hours,
+            train_length_m=max(run.train.length_m for run in timetable.runs))
+
+
+@dataclass(frozen=True)
+class NetworkSegment:
+    """One homogeneous stretch of a corridor: length, speed class, demand."""
+
+    name: str
+    length_km: float
+    speed_class: str = "highspeed"
+    demand: DemandProfile = field(default_factory=DemandProfile)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a segment needs a non-empty name")
+        if self.length_km <= 0:
+            raise GeometryError(
+                f"{self.name}: segment length must be positive, "
+                f"got {self.length_km}")
+        if self.speed_class not in SPEED_CLASSES:
+            raise ConfigurationError(
+                f"{self.name}: unknown speed class {self.speed_class!r}; "
+                f"available: {sorted(SPEED_CLASSES)}")
+
+    @property
+    def train_speed_kmh(self) -> float:
+        """Cruise speed implied by the segment's speed class."""
+        return SPEED_CLASSES[self.speed_class].train_speed_kmh
+
+    def traffic(self) -> TrafficParams:
+        """The segment's demand at its class speed."""
+        return self.demand.traffic(self.train_speed_kmh)
+
+
+@dataclass(frozen=True)
+class Corridor:
+    """A named line: an ordered tuple of segments with unique names."""
+
+    name: str
+    segments: tuple[NetworkSegment, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a corridor needs a non-empty name")
+        if not self.segments:
+            raise ConfigurationError(
+                f"corridor {self.name!r} needs at least one segment")
+        names = [s.name for s in self.segments]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"corridor {self.name!r} has duplicate segment names")
+
+    @property
+    def length_km(self) -> float:
+        """Total corridor length."""
+        return sum(s.length_km for s in self.segments)
+
+
+@dataclass(frozen=True)
+class NetworkGraph:
+    """A whole network: corridors with unique names.
+
+    The flat segment order (:attr:`segments`) — corridors in declaration
+    order, segments in corridor order — is the canonical axis every
+    frontier/assignment array in :mod:`repro.network` is aligned with.
+    """
+
+    corridors: tuple[Corridor, ...]
+
+    def __post_init__(self) -> None:
+        if not self.corridors:
+            raise ConfigurationError("a network needs at least one corridor")
+        names = [c.name for c in self.corridors]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate corridor names: {names}")
+
+    @property
+    def segments(self) -> tuple[NetworkSegment, ...]:
+        """Every segment, flattened in canonical (corridor, segment) order."""
+        return tuple(s for c in self.corridors for s in c.segments)
+
+    @property
+    def segment_names(self) -> tuple[str, ...]:
+        """Qualified ``corridor/segment`` names in canonical order."""
+        return tuple(f"{c.name}/{s.name}"
+                     for c in self.corridors for s in c.segments)
+
+    @property
+    def n_segments(self) -> int:
+        """Total segment count across all corridors."""
+        return sum(len(c.segments) for c in self.corridors)
+
+    @property
+    def length_km(self) -> float:
+        """Total network track length."""
+        return sum(c.length_km for c in self.corridors)
+
+    @classmethod
+    def from_line_plan(cls, plan: LinePlan, name: str = "line",
+                       demand: DemandProfile | None = None,
+                       speed_class: str = "highspeed") -> "NetworkGraph":
+        """Lift a :class:`LinePlan` into a single-corridor graph.
+
+        One network segment per line section, in section order.  With the
+        default demand and speed class the fixed-technology evaluation
+        (:func:`repro.network.frontier.fixed_options_power_w` over the
+        sections' layouts and modes) reproduces
+        :meth:`LinePlan.total_average_power_w` exactly — the line plan is
+        the single-corridor special case of the network model.
+        """
+        demand = demand or DemandProfile()
+        return cls(corridors=(Corridor(
+            name=name,
+            segments=tuple(
+                NetworkSegment(name=s.name, length_km=s.length_km,
+                               speed_class=speed_class, demand=demand)
+                for s in plan.sections)),))

@@ -1,0 +1,309 @@
+"""Network-level technology assignment under global budgets.
+
+Given the per-segment frontiers of :func:`repro.network.frontier.segment_frontiers`,
+:func:`optimize_network` picks one :class:`~repro.network.frontier.TechnologyOption`
+per segment to minimize total cost subject to a global energy budget (or,
+with only a cost budget, minimize energy subject to cost).  The segment
+choices are independent given a price on the constrained resource, so the
+dual is one-dimensional and the solver is a Lagrangian bisection over the
+``[segment, option]`` arrays — pure numpy argmin passes, never a
+per-segment Python loop.
+
+Determinism: ties in the penalized score break toward the lower constrained
+total and then the lowest option index, so the assignment is a pure
+function of the frontier arrays — the property ``run_study`` relies on for
+shard-layout-independent results.
+
+Infeasibility: budgets below the minimum achievable raise
+:class:`repro.errors.InfeasibleError` — but only *after* the full frontier
+scan, so the error carries the true minima (``min_energy_w`` /
+``min_cost_eur``) and the number of cells scanned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.network.frontier import (
+    SegmentFrontiers,
+    Technology,
+    TechnologyCatalog,
+    segment_frontiers,
+)
+from repro.network.graph import NetworkGraph
+from repro.reporting.tables import format_table
+
+__all__ = ["NetworkAssignment", "optimize_network"]
+
+_BISECTION_ITERATIONS = 64
+_LAMBDA_GROWTH_LIMIT = 200
+
+
+@dataclass(frozen=True)
+class NetworkAssignment:
+    """The optimizer's output: one option per segment plus network totals.
+
+    Attributes
+    ----------
+    frontiers:
+        The frontier arrays the assignment was selected from.
+    option_index:
+        Chosen option column per segment (canonical graph order).
+    lambda_star:
+        The dual price on the constrained resource at the returned
+        assignment (0 when the budget is slack).
+    total_energy_w / total_cost_eur:
+        Network totals of the assignment.
+    energy_budget_w / cost_budget_eur:
+        The budgets the assignment satisfies (``None`` = unconstrained).
+    """
+
+    frontiers: SegmentFrontiers
+    option_index: np.ndarray
+    lambda_star: float
+    total_energy_w: float
+    total_cost_eur: float
+    energy_budget_w: float | None
+    cost_budget_eur: float | None
+
+    @property
+    def graph(self) -> NetworkGraph:
+        """The optimized network."""
+        return self.frontiers.graph
+
+    @property
+    def options(self):
+        """Option column order of :attr:`option_index`."""
+        return self.frontiers.options
+
+    @property
+    def segment_energy_w(self) -> np.ndarray:
+        """Per-segment average power of the chosen options [W]."""
+        rows = np.arange(self.option_index.size)
+        return self.frontiers.energy_w[rows, self.option_index]
+
+    @property
+    def segment_cost_eur(self) -> np.ndarray:
+        """Per-segment horizon cost of the chosen options [EUR]."""
+        rows = np.arange(self.option_index.size)
+        return self.frontiers.cost_eur[rows, self.option_index]
+
+    @property
+    def sleeping(self) -> np.ndarray:
+        """Per-segment sleep mask (the demand-aware eligibility rule)."""
+        return self.frontiers.eligible.copy()
+
+    @property
+    def n_sleeping(self) -> int:
+        """How many segments run a sleep (or solar) policy."""
+        return int(np.count_nonzero(self.frontiers.eligible))
+
+    def technology_counts(self) -> dict[str, int]:
+        """Segments per technology family, plus the ``solar`` sub-count."""
+        counts = {tech.value: 0 for tech in Technology}
+        counts["solar"] = 0
+        for k, option in enumerate(self.options):
+            n = int(np.count_nonzero(self.option_index == k))
+            counts[option.technology.value] += n
+            if option.solar:
+                counts["solar"] += n
+        return counts
+
+    def rows(self) -> list[tuple[str, str, float, float, bool]]:
+        """Per-segment assignment rows: name, option, W, EUR, sleeping."""
+        names = self.graph.segment_names
+        energy = self.segment_energy_w
+        cost = self.segment_cost_eur
+        return [
+            (names[i], self.options[self.option_index[i]].label,
+             float(energy[i]), float(cost[i]),
+             bool(self.frontiers.eligible[i]))
+            for i in range(self.option_index.size)
+        ]
+
+    def table(self, limit: int = 20) -> str:
+        """Render the assignment summary plus the first ``limit`` segments."""
+        counts = self.technology_counts()
+        summary = [
+            ("segments", f"{self.option_index.size}"),
+            ("total energy [kW]", f"{self.total_energy_w / 1e3:.3f}"),
+            ("total cost [MEUR]", f"{self.total_cost_eur / 1e6:.3f}"),
+            ("lambda*", f"{self.lambda_star:.6g}"),
+            ("sleeping segments", f"{self.n_sleeping}"),
+        ] + [(f"n {name}", f"{count}") for name, count in counts.items()]
+        out = format_table(("quantity", "value"), summary,
+                           title="network assignment")
+        shown = self.rows()[:limit]
+        body = [(name, label, f"{w:.2f}", f"{eur:,.0f}",
+                 "yes" if asleep else "no")
+                for name, label, w, eur, asleep in shown]
+        out += "\n" + format_table(
+            ("segment", "option", "avg W", "cost EUR", "sleep"), body,
+            title=f"first {len(shown)} of {self.option_index.size} segments")
+        return out
+
+
+def _select(frontiers: SegmentFrontiers, objective: np.ndarray,
+            constrained: np.ndarray, lam: float) -> np.ndarray:
+    """Per-segment argmin of ``objective + lam * constrained``.
+
+    Infeasible cells are masked with ``inf`` *before* the price is applied
+    (``0 * inf`` would poison the score with NaN at ``lam == 0``).  Ties
+    break toward the lower constrained total, then the lowest option index.
+    """
+    feasible = frontiers.feasible
+    score = np.where(feasible, objective + lam * constrained, np.inf)
+    best = score.min(axis=1, keepdims=True)
+    tied = score == best
+    # Among score-ties, prefer the smallest constrained value...
+    tie_metric = np.where(tied, np.where(feasible, constrained, np.inf),
+                          np.inf)
+    best_metric = tie_metric.min(axis=1, keepdims=True)
+    # ...and among those, the lowest option index (argmax of the mask).
+    return np.argmax(tie_metric == best_metric, axis=1)
+
+
+def _totals(frontiers: SegmentFrontiers, choice: np.ndarray,
+            values: np.ndarray) -> float:
+    rows = np.arange(choice.size)
+    return float(values[rows, choice].sum())
+
+
+def _solve_budget(frontiers: SegmentFrontiers, objective: np.ndarray,
+                  constrained: np.ndarray, budget: float,
+                  budget_name: str) -> tuple[np.ndarray, float]:
+    """Min total objective s.t. total constrained <= budget (Lagrangian)."""
+    # Unpriced solution: if it already fits, the budget is slack.
+    choice = _select(frontiers, objective, constrained, 0.0)
+    if _totals(frontiers, choice, constrained) <= budget:
+        return choice, 0.0
+
+    # Full-scan minima: definitive infeasibility check before any pricing.
+    masked = np.where(frontiers.feasible, constrained, np.inf)
+    min_constrained = float(masked.min(axis=1).sum())
+    if min_constrained > budget:
+        raise InfeasibleError(
+            f"{budget_name} budget {budget:g} is below the minimum "
+            f"achievable {min_constrained:g} "
+            f"(after scanning {frontiers.scanned_options} "
+            f"segment-option cells)",
+            budget=budget, minimum=min_constrained,
+            scanned_options=frontiers.scanned_options)
+
+    # Bracket the price: grow hi until its selection fits the budget.
+    hi = 1.0
+    for _ in range(_LAMBDA_GROWTH_LIMIT):
+        choice = _select(frontiers, objective, constrained, hi)
+        if _totals(frontiers, choice, constrained) <= budget:
+            break
+        hi *= 2.0
+    else:  # pragma: no cover - min_constrained check makes this unreachable
+        raise InfeasibleError(
+            f"{budget_name} budget {budget:g} not reachable by pricing",
+            budget=budget, minimum=min_constrained,
+            scanned_options=frontiers.scanned_options)
+
+    lo = 0.0
+    for _ in range(_BISECTION_ITERATIONS):
+        mid = 0.5 * (lo + hi)
+        choice = _select(frontiers, objective, constrained, mid)
+        if _totals(frontiers, choice, constrained) <= budget:
+            hi = mid
+        else:
+            lo = mid
+    return _select(frontiers, objective, constrained, hi), hi
+
+
+def optimize_network(graph: NetworkGraph | None = None,
+                     catalog: TechnologyCatalog | None = None,
+                     *,
+                     frontiers: SegmentFrontiers | None = None,
+                     energy_budget_w: float | None = None,
+                     cost_budget_eur: float | None = None,
+                     **frontier_kwargs) -> NetworkAssignment:
+    """Assign one technology option per segment under global budgets.
+
+    With an energy budget the solver minimizes total cost subject to total
+    average power <= ``energy_budget_w``; with only a cost budget the roles
+    swap (minimize energy subject to cost); with neither it returns the
+    plain cheapest feasible option per segment.  When both budgets are
+    given, the energy-constrained solution is computed first and its cost
+    checked against ``cost_budget_eur``.
+
+    Args:
+        graph: The network to optimize (ignored when ``frontiers`` given).
+        catalog: Candidate options/policy (default catalog).
+        frontiers: Precomputed :class:`SegmentFrontiers` — skip
+            recomputation when sweeping budgets over one graph.
+        energy_budget_w: Max total average power [W] (``None`` = no limit).
+        cost_budget_eur: Max total horizon cost [EUR] (``None`` = no
+            limit).
+        **frontier_kwargs: Forwarded to
+            :func:`repro.network.frontier.segment_frontiers` (``link``,
+            ``resolution_m``, ``horizon_years``, ``engine``, ...).
+
+    Returns:
+        The :class:`NetworkAssignment`.
+
+    Raises:
+        InfeasibleError: When a budget is below the minimum achievable or
+            some segment has no feasible option — in either case only
+            after the full frontier scan, with the true minima attached.
+        ConfigurationError: When neither a graph nor frontiers are given.
+    """
+    if frontiers is None:
+        if graph is None:
+            raise ConfigurationError(
+                "optimize_network needs a graph or precomputed frontiers")
+        frontiers = segment_frontiers(graph, catalog, **frontier_kwargs)
+    elif frontier_kwargs:
+        raise ConfigurationError(
+            f"frontier kwargs {sorted(frontier_kwargs)} have no effect "
+            f"when precomputed frontiers are supplied")
+
+    stranded = ~frontiers.feasible.any(axis=1)
+    if stranded.any():
+        names = [frontiers.graph.segment_names[i]
+                 for i in np.flatnonzero(stranded)[:5]]
+        raise InfeasibleError(
+            f"{int(stranded.sum())} segment(s) have no feasible technology "
+            f"option (first: {names}; scanned "
+            f"{frontiers.scanned_options} cells)",
+            segments=int(stranded.sum()),
+            scanned_options=frontiers.scanned_options)
+
+    cost = frontiers.cost_eur
+    energy = frontiers.energy_w
+    if energy_budget_w is not None:
+        choice, lam = _solve_budget(frontiers, cost, energy,
+                                    float(energy_budget_w), "energy")
+    elif cost_budget_eur is not None:
+        choice, lam = _solve_budget(frontiers, energy, cost,
+                                    float(cost_budget_eur), "cost")
+    else:
+        choice, lam = _select(frontiers, cost, energy, 0.0), 0.0
+
+    total_cost = _totals(frontiers, choice, cost)
+    total_energy = _totals(frontiers, choice, energy)
+    if (energy_budget_w is not None and cost_budget_eur is not None
+            and total_cost > float(cost_budget_eur)):
+        masked = np.where(frontiers.feasible, cost, np.inf)
+        raise InfeasibleError(
+            f"cost budget {float(cost_budget_eur):g} EUR cannot be met "
+            f"together with energy budget {float(energy_budget_w):g} W "
+            f"(energy-feasible minimum cost {total_cost:g}; scanned "
+            f"{frontiers.scanned_options} cells)",
+            budget=float(cost_budget_eur), minimum=total_cost,
+            unconstrained_minimum=float(masked.min(axis=1).sum()),
+            scanned_options=frontiers.scanned_options)
+
+    return NetworkAssignment(
+        frontiers=frontiers, option_index=choice, lambda_star=lam,
+        total_energy_w=total_energy, total_cost_eur=total_cost,
+        energy_budget_w=(None if energy_budget_w is None
+                         else float(energy_budget_w)),
+        cost_budget_eur=(None if cost_budget_eur is None
+                         else float(cost_budget_eur)))

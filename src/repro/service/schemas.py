@@ -5,7 +5,9 @@ Validation happens **at the edge**: an HTTP payload is parsed into a frozen
 document, a negative retry count or an unresolvable backend is a 400
 response — never a poisoned job.  The study document itself is validated by
 the same :func:`~repro.study.spec.study_from_mapping` path the CLI uses, so
-the service accepts exactly the documents ``repro study run`` accepts.
+the service accepts exactly the documents ``repro study run`` accepts —
+any of the five engines, including the ``network`` topology optimizer's
+per-km-budget sweeps.
 
 Responses are equally typed: :class:`JobView` is the single projection of a
 job's observable state (identity, lifecycle timestamps, progress, error

@@ -4,14 +4,15 @@ Each adapter names the parameters a study may sweep or fix, the metric
 columns it produces, and a ``runner`` that evaluates a chunk of cases through
 the corresponding batch engine:
 
-========  =====================================================  ==========
-adapter    engine entry point                                    stochastic
-========  =====================================================  ==========
-``radio``  :func:`repro.radio.batch.evaluate_scenarios`          no
-``solar``  :func:`repro.solar.batch.simulate_systems`            seeded
-``mc``     :func:`repro.optimize.mc.outage_matrix`               seeded
-``sim``    :func:`repro.simulation.batch.simulate_days`          seeded
-========  =====================================================  ==========
+===========  ==================================================  ==========
+adapter       engine entry point                                 stochastic
+===========  ==================================================  ==========
+``radio``     :func:`repro.radio.batch.evaluate_scenarios`       no
+``solar``     :func:`repro.solar.batch.simulate_systems`         seeded
+``mc``        :func:`repro.optimize.mc.outage_matrix`            seeded
+``sim``       :func:`repro.simulation.batch.simulate_days`       seeded
+``network``   :func:`repro.network.optimize.optimize_network`    no
+===========  ==================================================  ==========
 
 Adapters evaluate *whole shards* at once where the engine allows it (radio
 stacks every scenario of the shard into one batched call; solar runs one
@@ -334,6 +335,92 @@ def _run_sim(cases: list[dict], seeds: list[int], context: dict) -> list[dict]:
     return rows
 
 
+# -- network: corridor-graph topology optimization ----------------------------
+
+
+#: Per-process memo of segment frontiers: the budget axis of a network study
+#: sweeps many budgets over the *same* graph/catalog, so cells sharing the
+#: frontier inputs reuse one set of arrays instead of re-running the batched
+#: pass per case.
+_FRONTIER_MEMO: OrderedDict[tuple, object] = OrderedDict()
+_FRONTIER_MEMO_MAX = 4
+
+
+def _network_frontiers(case: dict, context: dict):
+    from repro.network.frontier import TechnologyCatalog, segment_frontiers
+    from repro.network.presets import build_graph
+
+    key = (str(case["graph"]), int(case["segments"]),
+           float(case["demand_scale"]), str(case["technologies"]),
+           float(case["min_sleep_headway_s"]), float(case["resolution_m"]),
+           float(case["horizon_years"]), str(case["engine"]))
+    hit = _FRONTIER_MEMO.get(key)
+    if hit is not None:
+        _FRONTIER_MEMO.move_to_end(key)
+        return hit
+    graph = build_graph(str(case["graph"]), n_segments=int(case["segments"]),
+                        demand_scale=float(case["demand_scale"]))
+    catalog = TechnologyCatalog.from_names(
+        str(case["technologies"]),
+        min_sleep_headway_s=float(case["min_sleep_headway_s"]))
+    frontiers = segment_frontiers(
+        graph, catalog, resolution_m=float(case["resolution_m"]),
+        horizon_years=float(case["horizon_years"]),
+        cache=_context_profile_cache(context), jobs=context.get("jobs"),
+        engine=str(case["engine"]))
+    _FRONTIER_MEMO[key] = frontiers
+    while len(_FRONTIER_MEMO) > _FRONTIER_MEMO_MAX:
+        _FRONTIER_MEMO.popitem(last=False)
+    return frontiers
+
+
+def _run_network(cases: list[dict], seeds: list[int], context: dict) -> list[dict]:
+    from repro.errors import InfeasibleError
+    from repro.network.optimize import optimize_network
+
+    nan = float("nan")
+    rows = []
+    for case in cases:
+        frontiers = _network_frontiers(case, context)
+        length_km = frontiers.graph.length_km
+        # Budgets are per track km (scale-invariant across graph sizes);
+        # the optimizer itself takes the global totals.
+        energy_budget = float(case["energy_budget_w_per_km"])
+        cost_budget = float(case["cost_budget_keur_per_km"])
+        min_w_per_km = frontiers.min_energy_w() / length_km
+        try:
+            plan = optimize_network(
+                frontiers=frontiers,
+                energy_budget_w=(None if energy_budget <= 0
+                                 else energy_budget * length_km),
+                cost_budget_eur=(None if cost_budget <= 0
+                                 else cost_budget * 1e3 * length_km))
+        except InfeasibleError:
+            rows.append({
+                "feasible": 0, "total_cost_meur": nan, "total_energy_kw": nan,
+                "min_w_per_km": min_w_per_km, "mean_w_per_km": nan,
+                "sleeping_segments": 0, "sleeping_fraction": nan,
+                "n_conventional": 0, "n_repeater": 0, "n_mobile_relay": 0,
+                "n_solar": 0,
+            })
+            continue
+        counts = plan.technology_counts()
+        rows.append({
+            "feasible": 1,
+            "total_cost_meur": plan.total_cost_eur / 1e6,
+            "total_energy_kw": plan.total_energy_w / 1e3,
+            "min_w_per_km": min_w_per_km,
+            "mean_w_per_km": plan.total_energy_w / length_km,
+            "sleeping_segments": plan.n_sleeping,
+            "sleeping_fraction": plan.n_sleeping / frontiers.n_segments,
+            "n_conventional": counts["conventional"],
+            "n_repeater": counts["repeater"],
+            "n_mobile_relay": counts["mobile_relay"],
+            "n_solar": counts["solar"],
+        })
+    return rows
+
+
 # -- registry -----------------------------------------------------------------
 
 STUDY_ENGINES: dict[str, EngineAdapter] = {
@@ -414,6 +501,28 @@ STUDY_ENGINES: dict[str, EngineAdapter] = {
                      "mean_w_per_km", "std_w_per_km", "ci95_low", "ci95_high",
                      "analytic_w_per_km"),
             runner=_run_sim,
+        ),
+        EngineAdapter(
+            name="network",
+            description="Corridor-graph topology optimization "
+                        "(repro.network.optimize.optimize_network)",
+            params={
+                "graph": REQUIRED,
+                "segments": 0,
+                "demand_scale": 1.0,
+                "energy_budget_w_per_km": REQUIRED,
+                "cost_budget_keur_per_km": 0.0,
+                "technologies": "conventional,repeater,mobile_relay",
+                "min_sleep_headway_s": 300.0,
+                "resolution_m": 25.0,
+                "horizon_years": 10.0,
+                "engine": "batched",
+            },
+            metrics=("feasible", "total_cost_meur", "total_energy_kw",
+                     "min_w_per_km", "mean_w_per_km", "sleeping_segments",
+                     "sleeping_fraction", "n_conventional", "n_repeater",
+                     "n_mobile_relay", "n_solar"),
+            runner=_run_network,
         ),
     )
 }

@@ -15,7 +15,11 @@ sweep:
   numbers with ``backend="reference"``; fused backends pinned <= 1e-9);
 * **sim**    — :func:`repro.simulation.batch.simulate_days` batch vs.
   ``engine="event"`` (equal to 1e-9: both engines see bit-identical event
-  instants and differ only by float summation order).
+  instants and differ only by float summation order);
+* **network** — :func:`repro.network.frontier.segment_frontiers`
+  ``engine="batched"`` vs. the ``engine="scalar"`` per-segment reference
+  (bit-identical frontier arrays), and the optimizer through the study
+  runner for any ``jobs``/``shards`` layout (inline == pooled).
 
 Every stochastic comparison also sweeps the kernel-backend axis
 (:func:`repro.backend.available_backends`): the solar engine is
@@ -254,3 +258,61 @@ class TestSimParity:
                 assert np.array_equal(getattr(default, name),
                                       getattr(other, name)), \
                     f"{backend}:{name}"
+
+
+# --- network: batched frontier vs. scalar reference, layout invariance -------
+
+
+class TestNetworkParity:
+    @pytest.mark.parametrize("scale", (0.5, 1.0, 2.0))
+    def test_frontiers_bit_identical(self, scale):
+        from repro.network import build_graph, segment_frontiers
+
+        graph = build_graph("demo", demand_scale=scale)
+        batched = segment_frontiers(graph, resolution_m=50.0)
+        scalar = segment_frontiers(graph, resolution_m=50.0, engine="scalar")
+        assert [o.label for o in batched.options] \
+            == [o.label for o in scalar.options]
+        assert np.array_equal(batched.energy_w, scalar.energy_w,
+                              equal_nan=True)
+        assert np.array_equal(batched.cost_eur, scalar.cost_eur,
+                              equal_nan=True)
+        assert np.array_equal(batched.feasible, scalar.feasible)
+        assert np.array_equal(batched.eligible, scalar.eligible)
+
+    def test_optimizer_identical_on_either_engine(self):
+        from repro.network import build_graph, optimize_network
+
+        graph = build_graph("demo")
+        plans = [optimize_network(graph, resolution_m=50.0,
+                                  energy_budget_w=13.0e3, engine=engine)
+                 for engine in ("batched", "scalar")]
+        assert np.array_equal(plans[0].option_index, plans[1].option_index)
+        assert plans[0].total_cost_eur == plans[1].total_cost_eur
+        assert plans[0].total_energy_w == plans[1].total_energy_w
+
+    @pytest.mark.parametrize("layout", [dict(jobs=1, shards=1),
+                                        dict(jobs=1, shards=5),
+                                        dict(jobs=2, shards=3)])
+    def test_study_bit_identical_for_any_layout(self, layout):
+        from repro.experiments.network import network_study_spec
+        from repro.study.runner import run_study
+
+        spec = network_study_spec(
+            graph="demo", segments=0, demand_scales=(1.0, 2.0),
+            energy_budgets_w_per_km=(0.0, 130.0),
+            technology_mixes=("conventional,repeater,mobile_relay",),
+            resolution_m=50.0)
+        inline = run_study(spec).table.long()
+        routed = run_study(spec, **layout).table.long()
+        # Infeasible budget cells are NaN rows, and NaN != NaN — compare
+        # columns NaN-aware but otherwise bitwise.
+        assert set(inline) == set(routed)
+        for column, values in inline.items():
+            got = routed[column]
+            if all(isinstance(v, (int, float)) for v in values):
+                assert np.array_equal(np.asarray(values, dtype=np.float64),
+                                      np.asarray(got, dtype=np.float64),
+                                      equal_nan=True), column
+            else:
+                assert values == got, column

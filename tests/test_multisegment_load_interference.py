@@ -46,6 +46,23 @@ class TestLinePlan:
         assert counts["service_nodes"] == 19 * 10
         assert counts["donor_nodes"] == 19 * 2
 
+    def test_equipment_counts_donor_rule_and_ceil(self):
+        # Pin the 0/1/2 donor rule per layout and the partial-segment ceil:
+        # 1.2 km at 1000 m ISD needs 2 segments (ceil), not 1.
+        plan = LinePlan(sections=(
+            LineSection("conv", CorridorLayout.conventional(1000.0), 1.2),
+            LineSection("one", CorridorLayout.with_uniform_repeaters(1250.0, 1),
+                        2.5),
+            LineSection("chain",
+                        CorridorLayout.with_uniform_repeaters(2400.0, 8), 4.8),
+        ))
+        assert [s.n_segments for s in plan.sections] == [2, 2, 2]
+        counts = plan.equipment_counts()
+        assert counts["hp_masts"] == 6
+        # N=0 -> no donors; N=1 -> a single mid-hop donor; N>=2 -> both ends.
+        assert counts["service_nodes"] == 2 * 1 + 2 * 8
+        assert counts["donor_nodes"] == 2 * 1 + 2 * 2
+
     def test_annual_energy(self):
         plan = self._plan()
         expected = plan.total_average_power_w() * 8760 / 1e6

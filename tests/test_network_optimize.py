@@ -1,0 +1,282 @@
+"""Property suite for the network optimizer (repro.network).
+
+Seeded, deterministic properties of the Lagrangian assignment:
+
+* **budget monotonicity** — relaxing the energy budget never increases the
+  optimal cost (the dual price is non-increasing in the budget);
+* **demand monotonicity** — scaling demand up never grows the sleeping set
+  (the headway rule is monotone in trains/h);
+* **LinePlan subsumption** — a single-corridor graph lifted from a
+  :class:`~repro.corridor.multisegment.LinePlan` reproduces the plan's
+  energy totals exactly (``==``, not approximately);
+* **infeasibility discipline** — budgets below the minimum achievable raise
+  :class:`~repro.errors.InfeasibleError` only after the full frontier scan,
+  with the true minima attached.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.corridor.multisegment import LinePlan
+from repro.errors import ConfigurationError, GeometryError, InfeasibleError
+from repro.network import (
+    Corridor,
+    DemandProfile,
+    NetworkGraph,
+    NetworkSegment,
+    TechnologyCatalog,
+    build_graph,
+    fixed_options_power_w,
+    optimize_network,
+    segment_frontiers,
+)
+
+SEEDS = (0, 7, 1234)
+
+RESOLUTION_M = 50.0
+
+
+def _frontiers(scale: float = 1.0, segments: int = 0, graph: str = "demo",
+               **kwargs):
+    g = build_graph(graph, n_segments=segments, demand_scale=scale)
+    return segment_frontiers(g, resolution_m=RESOLUTION_M, **kwargs)
+
+
+# -- graph validation ---------------------------------------------------------
+
+
+class TestGraphModel:
+    def test_rejects_empty_and_duplicate_names(self):
+        seg = NetworkSegment(name="a", length_km=2.0)
+        with pytest.raises(ConfigurationError):
+            Corridor(name="c", segments=())
+        with pytest.raises(ConfigurationError):
+            Corridor(name="c", segments=(seg, seg))
+        with pytest.raises(ConfigurationError):
+            NetworkGraph(corridors=())
+        corridor = Corridor(name="c", segments=(seg,))
+        with pytest.raises(ConfigurationError):
+            NetworkGraph(corridors=(corridor, corridor))
+
+    def test_rejects_bad_segment(self):
+        with pytest.raises(GeometryError):
+            NetworkSegment(name="a", length_km=0.0)
+        with pytest.raises(ConfigurationError):
+            NetworkSegment(name="a", length_km=1.0, speed_class="maglev")
+        with pytest.raises(ConfigurationError):
+            NetworkSegment(name="", length_km=1.0)
+
+    def test_demand_profile_semantics(self):
+        d = DemandProfile(trains_per_hour=8.0)
+        assert d.headway_s == 450.0
+        assert d.scaled(2.0).headway_s == 225.0
+        assert DemandProfile(trains_per_hour=0.0).headway_s == math.inf
+        with pytest.raises(ConfigurationError):
+            d.scaled(-1.0)
+        traffic = d.traffic(160.0)
+        assert traffic.trains_per_hour == 8.0
+        assert traffic.train.speed_kmh == 160.0
+
+    def test_demand_from_timetable(self):
+        from repro.traffic.timetable import Timetable, TrainRun
+        from repro.traffic.trains import Train
+
+        runs = tuple(TrainRun(t0_s=600.0 * i, train=Train(length_m=200.0))
+                     for i in range(6))
+        timetable = Timetable(runs=runs, horizon_s=3.0 * 3600.0)
+        demand = DemandProfile.from_timetable(timetable)
+        assert demand.trains_per_hour == 2.0
+        assert demand.night_quiet_hours == 21.0
+        assert demand.train_length_m == 200.0
+        with pytest.raises(ConfigurationError):
+            DemandProfile.from_timetable(Timetable(runs=(), horizon_s=3600.0))
+
+    def test_canonical_order_and_names(self):
+        graph = build_graph("demo")
+        assert graph.n_segments == 48
+        assert len(graph.segments) == 48
+        assert graph.segment_names[0] == "c00/s0000"
+        assert len(set(graph.segment_names)) == 48
+
+    def test_build_graph_validation(self):
+        with pytest.raises(ConfigurationError):
+            build_graph("atlantis")
+        with pytest.raises(ConfigurationError):
+            build_graph("demo", n_segments=-3)
+        assert build_graph("national", n_segments=10).n_segments == 10
+
+
+# -- budget monotonicity ------------------------------------------------------
+
+
+class TestBudgetMonotonicity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_relaxing_energy_budget_never_increases_cost(self, seed):
+        rng = np.random.default_rng(seed)
+        frontiers = _frontiers(scale=float(rng.uniform(0.5, 2.0)))
+        lo = frontiers.min_energy_w()
+        hi = optimize_network(frontiers=frontiers).total_energy_w
+        budgets = np.sort(rng.uniform(lo, 1.5 * hi, size=8))
+        costs = [optimize_network(frontiers=frontiers,
+                                  energy_budget_w=float(b)).total_cost_eur
+                 for b in budgets]
+        assert all(a >= b for a, b in zip(costs, costs[1:]))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_budget_is_respected(self, seed):
+        rng = np.random.default_rng(seed)
+        frontiers = _frontiers()
+        lo = frontiers.min_energy_w()
+        for budget in rng.uniform(lo, 2.0 * lo, size=5):
+            plan = optimize_network(frontiers=frontiers,
+                                    energy_budget_w=float(budget))
+            assert plan.total_energy_w <= budget
+            assert plan.energy_budget_w == float(budget)
+
+    def test_cost_budget_swaps_roles(self):
+        frontiers = _frontiers()
+        cheapest = optimize_network(frontiers=frontiers)
+        budget = 1.2 * cheapest.total_cost_eur
+        plan = optimize_network(frontiers=frontiers, cost_budget_eur=budget)
+        assert plan.total_cost_eur <= budget
+        # With cost headroom the optimizer buys energy savings.
+        assert plan.total_energy_w <= cheapest.total_energy_w
+
+    def test_both_budgets_checked(self):
+        frontiers = _frontiers()
+        cheapest = optimize_network(frontiers=frontiers)
+        plan = optimize_network(frontiers=frontiers,
+                                energy_budget_w=1.1 * cheapest.total_energy_w,
+                                cost_budget_eur=1.1 * cheapest.total_cost_eur)
+        assert plan.total_cost_eur <= 1.1 * cheapest.total_cost_eur
+        with pytest.raises(InfeasibleError) as err:
+            optimize_network(frontiers=frontiers,
+                             energy_budget_w=frontiers.min_energy_w(),
+                             cost_budget_eur=0.5 * cheapest.total_cost_eur)
+        assert err.value.minimum > err.value.budget
+
+
+# -- demand monotonicity ------------------------------------------------------
+
+
+class TestDemandMonotonicity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_adding_demand_never_grows_sleeping_set(self, seed):
+        rng = np.random.default_rng(seed)
+        scales = np.sort(rng.uniform(0.25, 4.0, size=6))
+        sleeping = []
+        for scale in scales:
+            frontiers = _frontiers(scale=float(scale))
+            plan = optimize_network(frontiers=frontiers)
+            sleeping.append(frozenset(np.flatnonzero(plan.sleeping)))
+        for bigger, smaller in zip(sleeping, sleeping[1:]):
+            assert smaller <= bigger
+
+    def test_sleep_rule_is_headway_threshold(self):
+        catalog = TechnologyCatalog(min_sleep_headway_s=300.0)
+        assert catalog.sleep_eligible(DemandProfile(trains_per_hour=8.0))
+        assert catalog.sleep_eligible(DemandProfile(trains_per_hour=12.0))
+        assert not catalog.sleep_eligible(DemandProfile(trains_per_hour=16.0))
+
+    def test_demand_can_make_options_infeasible(self):
+        # Station-class segments at 24 trains/h cannot schedule their
+        # traffic on the sparse relay/repeater grids: occupancy exceeds
+        # headway, so those options must drop out (not crash).
+        calm = _frontiers(scale=1.0)
+        dense = _frontiers(scale=3.0)
+        assert (~dense.feasible).sum() > (~calm.feasible).sum()
+        assert dense.feasible.any(axis=1).all()  # but nothing is stranded
+
+
+# -- LinePlan subsumption -----------------------------------------------------
+
+
+class TestLinePlanSubsumption:
+    def test_single_corridor_graph_reproduces_line_plan_totals(self):
+        plan = LinePlan.mixed_line(open_track_km=120.0, station_zones=6)
+        graph = NetworkGraph.from_line_plan(plan)
+        assert graph.n_segments == len(plan.sections)
+        assert graph.length_km == plan.length_km
+        total = fixed_options_power_w(
+            graph,
+            tuple(s.layout for s in plan.sections),
+            tuple(s.mode for s in plan.sections))
+        assert total == plan.total_average_power_w()  # exact, not approx
+
+    def test_layout_mode_count_mismatch_raises(self):
+        plan = LinePlan.mixed_line(open_track_km=40.0, station_zones=2)
+        graph = NetworkGraph.from_line_plan(plan)
+        with pytest.raises(ConfigurationError):
+            fixed_options_power_w(graph, (), ())
+
+
+# -- infeasibility discipline -------------------------------------------------
+
+
+class TestInfeasibility:
+    def test_raises_only_after_full_scan_with_minima(self):
+        frontiers = _frontiers()
+        minimum = frontiers.min_energy_w()
+        with pytest.raises(InfeasibleError) as err:
+            optimize_network(frontiers=frontiers,
+                             energy_budget_w=0.5 * minimum)
+        exc = err.value
+        assert exc.minimum == minimum
+        assert exc.budget == 0.5 * minimum
+        # the full [segment, option] grid was scanned before raising
+        assert exc.scanned_options == frontiers.scanned_options
+        assert exc.scanned_options \
+            == frontiers.n_segments * len(frontiers.options)
+
+    def test_budget_at_minimum_is_feasible(self):
+        frontiers = _frontiers()
+        plan = optimize_network(frontiers=frontiers,
+                                energy_budget_w=frontiers.min_energy_w())
+        assert plan.total_energy_w <= frontiers.min_energy_w()
+
+    def test_stranded_segment_reports_after_full_scan(self):
+        # An unreachable radio criterion leaves a segment with no feasible
+        # option at all (the relay exemption is excluded from the catalog).
+        catalog = TechnologyCatalog(technologies=("repeater",))
+        graph = NetworkGraph(corridors=(Corridor(
+            name="c", segments=(NetworkSegment(name="s", length_km=2.0),)),))
+        frontiers = segment_frontiers(graph, catalog, threshold_db=1e9,
+                                      resolution_m=RESOLUTION_M)
+        with pytest.raises(InfeasibleError) as err:
+            optimize_network(frontiers=frontiers)
+        assert err.value.scanned_options == frontiers.scanned_options
+
+    def test_unknown_inputs_raise_configuration_errors(self):
+        graph = build_graph("demo", n_segments=4)
+        with pytest.raises(ConfigurationError):
+            segment_frontiers(graph, engine="quantum")
+        with pytest.raises(ConfigurationError):
+            TechnologyCatalog(technologies=("carrier-pigeon",))
+        with pytest.raises(ConfigurationError):
+            optimize_network()
+        with pytest.raises(ConfigurationError):
+            optimize_network(frontiers=_frontiers(segments=4),
+                             resolution_m=10.0)
+
+
+# -- assignment surface -------------------------------------------------------
+
+
+class TestAssignmentSurface:
+    def test_rows_table_and_counts_are_consistent(self):
+        frontiers = _frontiers(segments=12)
+        plan = optimize_network(frontiers=frontiers)
+        rows = plan.rows()
+        assert len(rows) == 12
+        counts = plan.technology_counts()
+        assert sum(v for k, v in counts.items() if k != "solar") == 12
+        text = plan.table(limit=5)
+        assert "network assignment" in text
+        assert rows[0][0] in text
+
+    def test_catalog_round_trips_comma_names(self):
+        catalog = TechnologyCatalog.from_names("conventional,mobile_relay")
+        labels = [o.label for o in catalog.options()]
+        assert labels == ["conventional@500", "mobile_relay@2650"]

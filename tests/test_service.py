@@ -44,6 +44,15 @@ def mc_document(**overrides):
     return dict(MC_DOC, **overrides)
 
 
+NETWORK_DOC = {
+    "name": "network-tiny",
+    "engine": "network",
+    "seed": 0,
+    "axes": {"energy_budget_w_per_km": [0.0, 200.0]},
+    "fixed": {"graph": "demo", "segments": 8, "resolution_m": 50.0},
+}
+
+
 def wait_for(predicate, timeout_s=15.0, poll_s=0.02):
     deadline = time.monotonic() + timeout_s
     while time.monotonic() < deadline:
@@ -101,6 +110,35 @@ class TestJobRequest:
         rebuilt = JobRequest(document=request.document, client="c",
                              **request.options())
         assert rebuilt == request
+
+    def test_accepts_network_study_document(self):
+        request = JobRequest.from_mapping({"study": NETWORK_DOC}, client="c")
+        assert request.spec().engine == "network"
+        # Missing required engine parameter is still a 400-class error.
+        bad = {k: v for k, v in NETWORK_DOC.items() if k != "axes"}
+        with pytest.raises(ConfigurationError):
+            JobRequest.from_mapping(
+                {"study": dict(bad, axes={"demand_scale": [1.0]})})
+
+    def test_network_submission_runs_to_completion(self, tmp_path):
+        queue = JobQueue(tmp_path, workers=1)
+        queue.start()
+        try:
+            job, _ = queue.submit(JobRequest.from_mapping(
+                {"study": NETWORK_DOC, "shards": 2}, client="c"))
+            assert wait_terminal(queue, job.job).state == "done"
+            _, document = queue.result(job.job)
+            reference = run_study(parse_study(json.dumps(NETWORK_DOC))) \
+                .table.wide()
+            rows = document["rows"]
+            assert len(rows) == 2
+            # Served rows are bit-identical to an inline run of the spec.
+            assert [r["total_cost_meur"] for r in rows] \
+                == reference["total_cost_meur"]
+            assert [r["sleeping_segments"] for r in rows] \
+                == reference["sleeping_segments"]
+        finally:
+            queue.drain(5.0)
 
 
 # -- admission control (overload semantics) -----------------------------------

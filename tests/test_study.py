@@ -18,6 +18,7 @@ from repro.experiments.extensions import (
     robustness_grid_study_spec,
     run_robustness_grid,
 )
+from repro.experiments.network import network_study_spec
 from repro.experiments.simgrid import run_sim_grid, sim_grid_study_spec
 from repro.experiments.table4 import run_table4_grid, table4_grid_study_spec
 from repro.study import (
@@ -342,8 +343,9 @@ fixed:
 
 
 class TestEngines:
-    def test_registry_covers_four_engines(self):
-        assert set(STUDY_ENGINES) == {"radio", "solar", "mc", "sim"}
+    def test_registry_covers_five_engines(self):
+        assert set(STUDY_ENGINES) == {"radio", "solar", "mc", "sim",
+                                      "network"}
         for adapter in STUDY_ENGINES.values():
             assert adapter.metrics
             assert adapter.required <= set(adapter.params)
@@ -494,9 +496,13 @@ class TestExperimentParity:
             spec = load_study(path)
             by_name[spec.name] = spec
         assert set(by_name) == {"sim-grid-demand", "robustness-grid",
-                                "table4-grid"}
+                                "table4-grid", "national-network"}
         assert by_name["table4-grid"].compute_hash \
             == table4_grid_study_spec().compute_hash
+        # national_network.yaml mirrors the experiment helper exactly (the
+        # derived columns are presentation-only and excluded from the hash)
+        assert by_name["national-network"].compute_hash \
+            == network_study_spec().compute_hash
         # the YAML mirrors the experiment's axes and defaults exactly: once
         # adapter defaults are applied, every case resolves identically
         helper = robustness_grid_study_spec(
