@@ -190,7 +190,11 @@ def build_study_parser() -> argparse.ArgumentParser:
         "run", help="run a study file end to end")
     resume_parser = sub.add_parser(
         "resume", help="continue a partially run study from its store")
-    for p in (run_parser, resume_parser):
+    shard_parser = sub.add_parser(
+        "shard", help="run one worker's slice of a study and sign a shard "
+                      "manifest (distributed execution; see "
+                      "docs/distributed.md)")
+    for p in (run_parser, resume_parser, shard_parser):
         p.add_argument("study_file", help="path to the .yaml/.yml/.toml study")
         p.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="worker processes (default: run inline)")
@@ -237,8 +241,99 @@ def build_study_parser() -> argparse.ArgumentParser:
                             "REPRO_BACKEND or the fused numpy kernels)")
         p.add_argument("--quiet", action="store_true",
                        help="suppress the results preview table")
+        p.add_argument("--force", action="store_true",
+                       help="accept a --backend that differs from the one "
+                            "recorded in the store's run metadata (normally "
+                            "refused: mixing backends breaks bit-identical "
+                            "resume)")
+    for p in (run_parser, resume_parser):
+        p.add_argument("--manifest", metavar="FILE", default=None,
+                       help="also sign a 1-of-1 shard manifest over the "
+                            "completed shards (needs --store); the file a "
+                            "later 'repro study merge' validates")
+    shard_parser.add_argument("--index", type=int, required=True, metavar="K",
+                              help="this worker's 0-based position in the "
+                                   "split")
+    shard_parser.add_argument("--of", type=int, required=True, metavar="N",
+                              help="total workers in the split")
+    shard_parser.add_argument("--manifest", metavar="FILE", default=None,
+                              help="manifest output file (default: a "
+                                   "hash-derived name inside --store)")
     resume_parser.set_defaults(resume=True)
     run_parser.set_defaults(resume=False)
+    shard_parser.set_defaults(resume=False)
+
+    merge_parser = sub.add_parser(
+        "merge", help="validate worker manifests and reassemble the "
+                      "single-machine results table")
+    merge_parser.add_argument("study_file",
+                              help="path to the .yaml/.yml/.toml study the "
+                                   "manifests must attest")
+    merge_parser.add_argument("manifests", nargs="+", metavar="MANIFEST",
+                              help="worker manifest files (shard bundles "
+                                   "are read from each manifest's "
+                                   "directory)")
+    merge_parser.add_argument("--out-store", metavar="DIR", default=None,
+                              help="copy the verified shard bundles into "
+                                   "DIR (a normal resumable store) and "
+                                   "write the merged provenance journal "
+                                   "there")
+    merge_parser.add_argument("--journal", metavar="FILE", default=None,
+                              help="merged provenance journal (default: "
+                                   "merge.jsonl inside --out-store)")
+    merge_parser.add_argument("--crn-sample", type=int, default=3,
+                              metavar="N",
+                              help="cases recomputed inline for the CRN "
+                                   "bit-identity spot-check "
+                                   "(default: %(default)s)")
+    merge_parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                              help="profile/weather cache for the CRN "
+                                   "spot-check recomputation")
+    merge_parser.add_argument("--csv", metavar="FILE", default=None,
+                              help="write the merged results table as CSV")
+    merge_parser.add_argument("--layout", choices=("long", "wide"),
+                              default="long",
+                              help="CSV layout (default: %(default)s)")
+    merge_parser.add_argument("--json", metavar="FILE", default=None,
+                              help="write the merged results as a JSON "
+                                   "document")
+    merge_parser.add_argument("--quiet", action="store_true",
+                              help="suppress the results preview table")
+
+    refresh_parser = sub.add_parser(
+        "refresh", help="re-evaluate an updated study, recomputing only "
+                        "the cases whose content hash changed")
+    refresh_parser.add_argument("study_file",
+                                help="path to the *updated* study document")
+    refresh_parser.add_argument("--previous", metavar="FILE", required=True,
+                                help="the superseded study document whose "
+                                     "results already live in --store")
+    refresh_parser.add_argument("--store", metavar="DIR", required=True,
+                                help="store holding the previous run's "
+                                     "shards; receives the updated spec's")
+    refresh_parser.add_argument("--shards", type=int, default=None,
+                                metavar="K",
+                                help="shard count of the updated layout "
+                                     "(default: min(cases, 16))")
+    refresh_parser.add_argument("--backend", metavar="NAME", default=None,
+                                help="kernel backend (must match the "
+                                     "previous run's recorded backend "
+                                     "unless --force)")
+    refresh_parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                                help="profile/weather cache for the "
+                                     "recomputed cases")
+    refresh_parser.add_argument("--force", action="store_true",
+                                help="accept a backend differing from the "
+                                     "previous run's recorded one")
+    refresh_parser.add_argument("--csv", metavar="FILE", default=None,
+                                help="write the refreshed table as CSV")
+    refresh_parser.add_argument("--layout", choices=("long", "wide"),
+                                default="long",
+                                help="CSV layout (default: %(default)s)")
+    refresh_parser.add_argument("--json", metavar="FILE", default=None,
+                                help="write the refreshed table as JSON")
+    refresh_parser.add_argument("--quiet", action="store_true",
+                                help="suppress the results preview table")
 
     list_parser = sub.add_parser("list", help="list study files")
     list_parser.add_argument("directory", nargs="?", default="studies",
@@ -247,11 +342,23 @@ def build_study_parser() -> argparse.ArgumentParser:
 
 
 def study_main(argv: list[str]) -> int:
-    """Entry point of the ``repro study`` subcommands."""
+    """Entry point of the ``repro study`` subcommands.
+
+    Exit codes (``run`` / ``resume`` / ``shard``): 0 complete, 1 error,
+    2 unloadable study, 3 partial run, 4 completed with quarantined
+    shards.  ``merge``: 0 merged, 4 rejected shard set (validation or
+    manifest failure), 2 unloadable study, 1 other error.  ``refresh``:
+    0 refreshed, 1 error, 2 unloadable study.
+    """
     from repro.errors import ReproError
     from repro.study import StudyStore, load_study, run_study
 
     args = build_study_parser().parse_args(argv)
+
+    if args.command == "merge":
+        return _study_merge(args)
+    if args.command == "refresh":
+        return _study_refresh(args)
 
     if args.command == "list":
         directory = Path(args.directory)
@@ -276,6 +383,17 @@ def study_main(argv: list[str]) -> int:
     if args.resume and args.store is None:
         raise SystemExit("repro study resume needs --store DIR (the store "
                          "the interrupted run was writing to)")
+    if args.command == "shard" and args.store is None:
+        raise SystemExit("repro study shard needs --store DIR (the worker's "
+                         "own shard/manifest directory)")
+    if args.manifest is not None and args.store is None:
+        raise SystemExit("--manifest needs --store (it attests on-disk "
+                         "shard bundles)")
+    if args.max_shards is not None and (args.command == "shard"
+                                        or args.manifest is not None):
+        raise SystemExit("--max-shards cannot be combined with shard "
+                         "slices or --manifest (a capped run attests "
+                         "nothing useful)")
     try:
         spec = load_study(args.study_file)
     except (ReproError, OSError) as exc:
@@ -311,17 +429,36 @@ def study_main(argv: list[str]) -> int:
             print(f"study failed: {exc}", file=sys.stderr)
             return 1
         context["fault_plan"] = plan.to_context()
+    slice_result = None
     try:
-        report = run_study(spec, jobs=args.jobs, shards=args.shards,
-                           store=store, progress=progress,
-                           max_shards=args.max_shards, context=context,
-                           retries=args.retries,
-                           shard_timeout=args.shard_timeout,
-                           keep_going=args.keep_going)
+        if args.command == "shard" or args.manifest is not None:
+            from repro.study import run_shard_slice
+
+            index = args.index if args.command == "shard" else 0
+            of = args.of if args.command == "shard" else 1
+            slice_result = run_shard_slice(
+                spec, index, of, store, jobs=args.jobs, shards=args.shards,
+                context=context, retries=args.retries,
+                shard_timeout=args.shard_timeout,
+                keep_going=args.keep_going, progress=progress,
+                manifest_path=args.manifest, force_backend=args.force)
+            report = slice_result.report
+        else:
+            report = run_study(spec, jobs=args.jobs, shards=args.shards,
+                               store=store, progress=progress,
+                               max_shards=args.max_shards, context=context,
+                               retries=args.retries,
+                               shard_timeout=args.shard_timeout,
+                               keep_going=args.keep_going,
+                               force_backend=args.force)
     except ReproError as exc:
         print(f"study failed: {exc}", file=sys.stderr)
         return 1
 
+    if slice_result is not None:
+        print(slice_result.summary(), file=sys.stderr)
+        if report is None:  # more workers than shards: an empty slice
+            return 0
     if not args.quiet:
         print(report.table.table())
         print(report.summary(), file=sys.stderr)
@@ -337,6 +474,91 @@ def study_main(argv: list[str]) -> int:
     if report.failed_shards:
         return 4  # completed with quarantined shards (--keep-going)
     return 3 if report.partial else 0
+
+
+def _study_merge(args: argparse.Namespace) -> int:
+    """``repro study merge``: validate manifests, emit the merged table."""
+    from repro.errors import ManifestError, MergeValidationError, ReproError
+    from repro.study import StudyStore, load_study, merge_manifests
+
+    try:
+        spec = load_study(args.study_file)
+    except (ReproError, OSError) as exc:
+        print(f"cannot load study {args.study_file!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    out_store = None
+    if args.out_store is not None:
+        out_store = StudyStore(maxsize=1024, cache_dir=args.out_store)
+    context = {}
+    if args.cache_dir is not None:
+        context["cache_dir"] = args.cache_dir
+    try:
+        merged = merge_manifests(spec, args.manifests, out_store=out_store,
+                                 journal=args.journal,
+                                 crn_sample=args.crn_sample, context=context)
+    except (ManifestError, MergeValidationError) as exc:
+        kind = getattr(exc, "kind", "manifest")
+        print(f"merge rejected [{kind}]: {exc}", file=sys.stderr)
+        return 4
+    except ReproError as exc:
+        print(f"merge failed: {exc}", file=sys.stderr)
+        return 1
+
+    if not args.quiet:
+        print(merged.table.table())
+        print(merged.summary(), file=sys.stderr)
+    if args.csv is not None:
+        merged.table.write_csv(args.csv, layout=args.layout)
+    if args.json is not None:
+        merged.table.write_json(args.json,
+                                metadata={"backend": merged.backend,
+                                          "workers": len(merged.manifests)})
+    return 0
+
+
+def _study_refresh(args: argparse.Namespace) -> int:
+    """``repro study refresh``: re-run only hash-changed cases."""
+    from repro.errors import ReproError
+    from repro.study import StudyStore, load_study, refresh_study
+
+    specs = []
+    for label, path in (("study", args.study_file),
+                        ("previous study", args.previous)):
+        try:
+            specs.append(load_study(path))
+        except (ReproError, OSError) as exc:
+            print(f"cannot load {label} {path!r}: {exc}", file=sys.stderr)
+            return 2
+    spec, previous = specs
+    store = StudyStore(maxsize=1024, cache_dir=args.store)
+    context = {}
+    if args.cache_dir is not None:
+        context["cache_dir"] = args.cache_dir
+    if args.backend is not None:
+        context["backend"] = args.backend
+
+    def progress(done: int, total: int, label: str) -> None:
+        if not args.quiet:
+            print(f"[{done}/{total}] {label}", file=sys.stderr)
+
+    try:
+        refreshed = refresh_study(spec, previous, store, context=context,
+                                  shards=args.shards,
+                                  force_backend=args.force,
+                                  progress=progress)
+    except ReproError as exc:
+        print(f"refresh failed: {exc}", file=sys.stderr)
+        return 1
+
+    if not args.quiet:
+        print(refreshed.table.table())
+        print(refreshed.summary(), file=sys.stderr)
+    if args.csv is not None:
+        refreshed.table.write_csv(args.csv, layout=args.layout)
+    if args.json is not None:
+        refreshed.table.write_json(args.json)
+    return 0
 
 
 # -- network optimizer --------------------------------------------------------

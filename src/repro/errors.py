@@ -14,6 +14,8 @@ __all__ = [
     "InfeasibleError",
     "SimulationError",
     "StudyExecutionError",
+    "ManifestError",
+    "MergeValidationError",
     "ServiceError",
     "AdmissionError",
     "UnknownJobError",
@@ -60,6 +62,35 @@ class StudyExecutionError(ReproError, RuntimeError):
     timeout, or a worker process killed hard (OOM/SIGKILL).  Engine
     exceptions themselves are re-raised unchanged after the last attempt.
     """
+
+
+class ManifestError(ReproError, ValueError):
+    """A shard manifest is malformed, unreadable or fails its signature.
+
+    Raised by :mod:`repro.study.manifest` when a sidecar document cannot be
+    parsed, misses required fields, declares an unsupported schema version,
+    or its body no longer matches the embedded SHA-256 signature (a
+    hand-edited or torn manifest).
+    """
+
+
+class MergeValidationError(ReproError, RuntimeError):
+    """A distributed merge rejected its shard set before producing a table.
+
+    Structured: :attr:`kind` names the violated invariant (``"spec_hash"``,
+    ``"layout"``, ``"overlap"``, ``"missing"``, ``"checksum"``,
+    ``"backend"`` or ``"crn"``) and :attr:`details` carries the evidence
+    (the offending ranges, hashes or case indices), so callers — the CLI's
+    exit-code mapping, the dist-smoke CI leg — can react without parsing
+    the message.
+    """
+
+    def __init__(self, message: str, kind: str, **details: object) -> None:
+        super().__init__(message)
+        #: The violated merge invariant (see class docstring).
+        self.kind = kind
+        #: Structured evidence of the violation.
+        self.details = details
 
 
 class ServiceError(ReproError, RuntimeError):

@@ -27,6 +27,13 @@ Supported actions (:data:`FAULT_ACTIONS`):
     Overwrite the shard's :class:`~repro.study.results.StudyStore` file with
     garbage bytes, then raise :class:`FaultInjected` — exercises the store's
     checksum/quarantine path and the atomic rewrite on retry.
+``corrupt_manifest``
+    Overwrite the file at the plan's ``manifest_path`` with a torn manifest
+    document and let the attempt *continue normally* — a write-path fault,
+    not a compute failure.  The damage surfaces later, when ``repro study
+    merge`` signature-verifies the manifest
+    (:exc:`~repro.errors.ManifestError` → exit 4), exercising the
+    distributed layer's tamper/torn-write rejection end to end.
 
 Every fault fires on exactly one ``(shard, attempt)`` pair, so a plan like
 ``FaultSpec(shard=1, attempt=1, action="crash")`` crashes the first attempt
@@ -48,7 +55,7 @@ __all__ = ["FAULT_ACTIONS", "FaultInjected", "FaultSpec", "FaultPlan",
            "load_fault_plan"]
 
 #: The injectable failure modes, in escalating order of violence.
-FAULT_ACTIONS = ("raise", "hang", "crash", "corrupt")
+FAULT_ACTIONS = ("raise", "hang", "crash", "corrupt", "corrupt_manifest")
 
 #: Context key the runner ships a serialized plan under.
 CONTEXT_KEY = "fault_plan"
@@ -115,10 +122,15 @@ class FaultPlan:
         Directory of the run's :class:`~repro.study.results.StudyStore` —
         required by (and only used for) ``corrupt`` faults, which need the
         on-disk shard path.
+    manifest_path:
+        File the ``corrupt_manifest`` action tears — typically another
+        worker's (or a previous run's) shard manifest, so the merge's
+        signature check is exercised against realistic torn-write damage.
     """
 
     faults: tuple[FaultSpec, ...] = ()
     store_dir: str | None = None
+    manifest_path: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "faults", tuple(self.faults))
@@ -127,6 +139,11 @@ class FaultPlan:
             raise ConfigurationError(
                 "a 'corrupt' fault needs the plan's store_dir (the study "
                 "store directory whose shard file it tears)")
+        if self.manifest_path is None and any(
+                f.action == "corrupt_manifest" for f in self.faults):
+            raise ConfigurationError(
+                "a 'corrupt_manifest' fault needs the plan's manifest_path "
+                "(the manifest file it tears)")
 
     def find(self, shard: int, attempt: int) -> FaultSpec | None:
         """The planned fault for ``(shard, attempt)``, or ``None``."""
@@ -165,6 +182,16 @@ class FaultPlan:
             raise FaultInjected(f"injected hang elapsed: {label}")
         if spec.action == "crash":
             os._exit(spec.exit_code)
+        if spec.action == "corrupt_manifest":
+            # Tear the targeted manifest the way a killed signer would —
+            # valid JSON envelope, signature no longer matching — and let
+            # the attempt continue: the damage is a write-path artifact
+            # that only surfaces when a merge verifies the signature.
+            path = Path(self.manifest_path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text('{"manifest": {"study": "torn-by-fault-'
+                            'injection"}, "signature": "0000"}\n')
+            return
         # corrupt: tear the shard's store file the way a killed writer would
         # (truncated garbage), then fail the attempt; the retry recomputes
         # and the store's atomic replace repairs the file.
@@ -186,6 +213,7 @@ class FaultPlan:
         """Serialize to the plain mapping shipped in the worker context."""
         return {
             "store_dir": self.store_dir,
+            "manifest_path": self.manifest_path,
             "faults": [{"shard": f.shard, "attempt": f.attempt,
                         "action": f.action, "hang_s": f.hang_s,
                         "exit_code": f.exit_code} for f in self.faults],
@@ -197,11 +225,11 @@ class FaultPlan:
         if not isinstance(document, dict):
             raise ConfigurationError(
                 f"fault plan must be a mapping, got {type(document).__name__}")
-        unknown = set(document) - {"faults", "store_dir"}
+        unknown = set(document) - {"faults", "store_dir", "manifest_path"}
         if unknown:
             raise ConfigurationError(
                 f"unknown fault-plan keys {sorted(unknown)}; "
-                f"accepted: ['faults', 'store_dir']")
+                f"accepted: ['faults', 'manifest_path', 'store_dir']")
         entries = document.get("faults", [])
         if not isinstance(entries, (list, tuple)):
             raise ConfigurationError("fault plan 'faults' must be a list")
@@ -223,8 +251,12 @@ class FaultPlan:
                 exit_code=int(entry.get("exit_code", 13)),
             ))
         store_dir = document.get("store_dir")
-        return cls(faults=tuple(faults),
-                   store_dir=None if store_dir is None else str(store_dir))
+        manifest_path = document.get("manifest_path")
+        return cls(
+            faults=tuple(faults),
+            store_dir=None if store_dir is None else str(store_dir),
+            manifest_path=(None if manifest_path is None
+                           else str(manifest_path)))
 
     @classmethod
     def from_context(cls, context: dict) -> "FaultPlan | None":

@@ -191,6 +191,43 @@ class ArrayCache:
             self._quarantine(path)
             return None
 
+    def stored_checksum(self, key: str) -> str | None:
+        """Verified content checksum of the on-disk bundle for ``key``.
+
+        Loads the ``.npz`` bundle, recomputes the SHA-256 over its packed
+        arrays and compares it with the embedded ``__checksum__`` entry —
+        the same digest :meth:`put_by_hash` stamped at write time, which is
+        what shard manifests (:mod:`repro.study.manifest`) record per array
+        bundle.
+
+        Args:
+            key: Content-hash key of the bundle.
+
+        Returns:
+            The hex digest when the file exists and its checksum verifies;
+            ``None`` when the store has no disk layer, the file is absent,
+            unreadable, or its content no longer matches the embedded
+            checksum (tampering, bit rot, a torn pre-hardening write).
+            Unlike :meth:`get_by_hash`, a damaged file is *not* quarantined
+            — the caller (a merge validator) owns the evidence.
+        """
+        if self.cache_dir is None:
+            return None
+        path = self.cache_dir / f"{key}.npz"
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as data:
+                arrays = {name: data[name] for name in data.files}
+        except (OSError, EOFError, ValueError, KeyError, TypeError,
+                zipfile.BadZipFile):
+            return None
+        stored = arrays.pop(_CHECKSUM_KEY, None)
+        computed = _bundle_checksum(arrays)
+        if stored is not None and str(stored) != computed:
+            return None
+        return computed
+
     def _quarantine(self, path: Path) -> None:
         """Move a damaged file into the sidecar directory (best effort)."""
         try:

@@ -52,6 +52,7 @@ from repro.errors import (
 )
 from repro.service.jobstore import JobStore
 from repro.service.schemas import JobRequest, JobView
+from repro.study.distributed import run_shard_slice
 from repro.study.journal import RunJournal
 from repro.study.results import StudyStore
 from repro.study.runner import run_study
@@ -252,7 +253,7 @@ class JobQueue:
                 raise AdmissionError(
                     "service is draining and admits no new jobs",
                     retry_after_s=30.0)
-            match = self._dedup_match(compute_hash)
+            match = self._dedup_match(compute_hash, request)
             if match is not None:
                 return match, False
             if len(self._pending) >= self.max_queue:
@@ -285,11 +286,22 @@ class JobQueue:
             self._cv.notify()
             return job, True
 
-    def _dedup_match(self, compute_hash: str) -> Job | None:
-        """An open or finished job this hash coalesces onto (lock held)."""
+    def _dedup_match(self, compute_hash: str,
+                     request: JobRequest) -> Job | None:
+        """An open or finished job this request coalesces onto (lock held).
+
+        Two submissions coalesce only when they compute the same thing:
+        same ``compute_hash`` *and* the same distributed slice — a full
+        run never coalesces onto a shard slice (or vice versa), and slice
+        ``1/3`` never coalesces onto slice ``2/3``.
+        """
         done: Job | None = None
+        slice_key = (request.shard_index, request.shard_of)
         for job in self._jobs.values():
             if job.compute_hash != compute_hash:
+                continue
+            if (job.request.shard_index,
+                    job.request.shard_of) != slice_key:
                 continue
             if job.state in ("queued", "running"):
                 return job
@@ -366,23 +378,42 @@ class JobQueue:
 
     def _rebuild_result(self, job: Job) -> dict | None:
         """Reassemble a terminal job's document from stored shards."""
+        request = job.request
+        context = {}
+        if request.backend is not None:
+            context["backend"] = request.backend
+        cancel = None if job.state == "done" else (lambda: True)
         try:
-            spec = job.request.spec()
+            spec = request.spec()
             # For complete jobs every shard is reused from the store; for
             # partial/cancelled jobs the immediate cancel stops the run
             # right after reuse, so only the completed shards appear.
-            report = run_study(
-                spec, jobs=1, shards=job.request.shards,
-                store=self.study_store, journal=RunJournal(None),
-                cancel=(None if job.state == "done" else (lambda: True)))
+            if request.shard_of is not None:
+                slice_run = run_shard_slice(
+                    spec, request.shard_index, request.shard_of,
+                    self.study_store, shards=request.shards,
+                    context=context, journal=RunJournal(None),
+                    cancel=cancel)
+                report = slice_run.report
+                if report is None:  # empty slice — nothing to document
+                    return None
+            else:
+                report = run_study(
+                    spec, jobs=1, shards=request.shards,
+                    store=self.study_store, context=context,
+                    journal=RunJournal(None), cancel=cancel)
         except ReproError:
             return None
         return report.table.to_document(metadata=self._result_metadata(job))
 
     def _result_metadata(self, job: Job) -> dict:
-        return {"job": job.job, "state": job.state,
-                "compute_hash": job.compute_hash,
-                "backend": job.request.backend}
+        metadata = {"job": job.job, "state": job.state,
+                    "compute_hash": job.compute_hash,
+                    "backend": job.request.backend}
+        if job.request.shard_of is not None:
+            metadata["shard_index"] = job.request.shard_index
+            metadata["shard_of"] = job.request.shard_of
+        return metadata
 
     # -- execution -----------------------------------------------------------
 
@@ -410,7 +441,8 @@ class JobQueue:
                         client=str(record["client"] or "anonymous"),
                         **{key: record["options"].get(key)
                            for key in ("shards", "shard_timeout_s",
-                                       "deadline_s", "backend")},
+                                       "deadline_s", "backend",
+                                       "shard_index", "shard_of")},
                         jobs=int(record["options"].get("jobs") or 1),
                         retries=int(record["options"].get("retries") or 0))
                     cases = request.spec().case_count
@@ -487,16 +519,36 @@ class JobQueue:
             journal = self.store_dir / "runs" / f"{job.job}.jsonl"
         t0 = time.monotonic()
         try:
-            report = run_study(
-                spec, jobs=effective_jobs, shards=request.shards,
-                store=self.study_store, progress=progress,
-                context=context, retries=request.retries,
-                shard_timeout=(request.shard_timeout_s
-                               if effective_jobs > 1 else None),
-                journal=journal, cancel=cancelled)
+            if request.shard_of is not None:
+                # Distributed slice: run only this worker's round-robin
+                # subset and leave a signed manifest next to the shards
+                # for a later `repro study merge`.
+                slice_run = run_shard_slice(
+                    spec, request.shard_index, request.shard_of,
+                    self.study_store, jobs=effective_jobs,
+                    shards=request.shards, context=context,
+                    retries=request.retries,
+                    shard_timeout=(request.shard_timeout_s
+                                   if effective_jobs > 1 else None),
+                    journal=journal, progress=progress, cancel=cancelled)
+                report = slice_run.report
+            else:
+                report = run_study(
+                    spec, jobs=effective_jobs, shards=request.shards,
+                    store=self.study_store, progress=progress,
+                    context=context, retries=request.retries,
+                    shard_timeout=(request.shard_timeout_s
+                                   if effective_jobs > 1 else None),
+                    journal=journal, cancel=cancelled)
         except Exception as exc:
             self._finalize(job, "failed", error=repr(exc),
                            wall_s=time.monotonic() - t0)
+            return
+        if report is None:
+            # An empty slice (more workers than shards): nothing to
+            # compute, nothing to attest beyond the (empty) manifest.
+            self._finalize(job, "done", error=None,
+                           wall_s=time.monotonic() - t0, cases=0)
             return
         if job.cancel_cause == "client":
             state = "cancelled"

@@ -29,7 +29,7 @@ __all__ = ["JobRequest", "JobView"]
 MAX_REQUEST_JOBS = 8
 
 _REQUEST_KEYS = {"study", "jobs", "shards", "retries", "shard_timeout_s",
-                 "deadline_s", "backend"}
+                 "deadline_s", "backend", "shard_index", "shard_of"}
 
 
 def _positive_number(value, name: str, allow_none: bool = True):
@@ -78,6 +78,13 @@ class JobRequest:
     backend:
         Kernel backend name for the stochastic engines (validated as
         resolvable at the edge).
+    shard_index / shard_of:
+        When both are set, the job executes only worker ``shard_index``'s
+        round-robin slice of an ``shard_of``-way distributed split
+        (:func:`~repro.study.distributed.run_shard_slice`) and leaves a
+        signed shard manifest in the service store for a later
+        ``repro study merge``.  Must be set together, with
+        ``0 <= shard_index < shard_of``.
     client:
         Submitting client identity (the ``X-Client-Id`` header, falling
         back to the peer address) — the key of the per-client in-flight
@@ -91,6 +98,8 @@ class JobRequest:
     shard_timeout_s: float | None = None
     deadline_s: float | None = None
     backend: str | None = None
+    shard_index: int | None = None
+    shard_of: int | None = None
     client: str = "anonymous"
 
     @classmethod
@@ -146,9 +155,19 @@ class JobRequest:
                     f"backend must be a string, got {backend!r}")
             from repro.backend import resolve_backend_name
             backend = resolve_backend_name(backend)
+        shard_index = payload.get("shard_index")
+        shard_of = payload.get("shard_of")
+        if (shard_index is None) != (shard_of is None):
+            raise ConfigurationError(
+                "shard_index and shard_of must be provided together")
+        if shard_of is not None:
+            shard_of = _bounded_int(shard_of, "shard_of", 1, 1024)
+            shard_index = _bounded_int(shard_index, "shard_index", 0,
+                                       shard_of - 1)
         return cls(document=dict(document), jobs=jobs, shards=shards,
                    retries=retries, shard_timeout_s=shard_timeout_s,
                    deadline_s=deadline_s, backend=backend,
+                   shard_index=shard_index, shard_of=shard_of,
                    client=str(client))
 
     def spec(self) -> StudySpec:
@@ -160,7 +179,8 @@ class JobRequest:
         return {"jobs": self.jobs, "shards": self.shards,
                 "retries": self.retries,
                 "shard_timeout_s": self.shard_timeout_s,
-                "deadline_s": self.deadline_s, "backend": self.backend}
+                "deadline_s": self.deadline_s, "backend": self.backend,
+                "shard_index": self.shard_index, "shard_of": self.shard_of}
 
 
 @dataclass(frozen=True)

@@ -20,9 +20,26 @@ the shipped examples mirroring the ``sim-grid`` / ``robustness-grid`` /
 ``table4-grid`` experiments.
 """
 
+from repro.study.distributed import (
+    MergeReport,
+    RefreshReport,
+    SliceRunReport,
+    case_fingerprint,
+    merge_manifests,
+    refresh_study,
+    run_shard_slice,
+    slice_shards,
+)
 from repro.study.engines import STUDY_ENGINES, EngineAdapter, run_cases
 from repro.study.expressions import compile_expression
 from repro.study.journal import RunJournal, read_journal, scan_journal
+from repro.study.manifest import (
+    ShardEntry,
+    ShardManifest,
+    build_manifest,
+    load_manifest,
+    write_manifest,
+)
 from repro.study.results import StudyStore, StudyTable, build_table, merge_shards
 from repro.study.runner import (
     FailedShard,
@@ -37,6 +54,19 @@ __all__ = [
     "STUDY_ENGINES",
     "EngineAdapter",
     "run_cases",
+    "MergeReport",
+    "RefreshReport",
+    "SliceRunReport",
+    "case_fingerprint",
+    "merge_manifests",
+    "refresh_study",
+    "run_shard_slice",
+    "slice_shards",
+    "ShardEntry",
+    "ShardManifest",
+    "build_manifest",
+    "load_manifest",
+    "write_manifest",
     "compile_expression",
     "RunJournal",
     "read_journal",

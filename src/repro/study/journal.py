@@ -33,7 +33,23 @@ interrupt   completed
 cancel      completed
 run_end     computed, reused, failed, interrupted, cancelled, partial,
             wall_s
+manifest    path, worker, of, shards, backend
+merge_start study, compute_hash, manifests, shards
+worker_replay  worker, source, events
+merge_crn_check  sampled, cases, backends
+merge_end   rows, shards, workers, wall_s
+refresh_start  study, compute_hash, previous_hash, cases
+refresh_end changed, reused, rows, wall_s
 ========== =================================================================
+
+The distributed layer (:mod:`repro.study.distributed`) emits the last seven
+events: ``manifest`` when a shard-slice run signs its sidecar,
+``merge_start`` / ``worker_replay`` / ``merge_crn_check`` / ``merge_end``
+around a manifest merge (each worker's journal is replayed verbatim into
+the merged journal via :meth:`RunJournal.append`, *between* its
+``worker_replay`` marker and the next event, so the merged file is a
+superset of every worker's provenance), and ``refresh_start`` /
+``refresh_end`` around a rolling re-evaluation.
 
 This table is load-bearing: ``tests/test_journal_schema.py`` introspects
 every ``emit(...)`` call site in the runner (and the service job store) and
@@ -115,6 +131,31 @@ class RunJournal:
             except (OSError, ValueError):
                 self._close_handle()
             if event == "run_end":
+                self._close_handle()
+
+    def append(self, record: dict) -> None:
+        """Append one pre-built event record verbatim (replay path).
+
+        Unlike :meth:`emit`, the record is written as-is — no ``t``
+        timestamp is stamped and no schema is implied — so a merge can
+        replay another journal's events into this one byte-faithfully
+        (original timestamps, original fields).  Disk errors are swallowed
+        exactly like :meth:`emit`; a replayed ``run_end`` does *not* close
+        the handle (only a first-person ``run_end`` ends a journal).
+
+        Args:
+            record: A JSON-serializable event mapping.
+        """
+        if self.path is None:
+            return
+        line = json.dumps(record) + "\n"
+        with self._lock:
+            try:
+                if self._handle is None:
+                    self._handle = open(self.path, "a")
+                self._handle.write(line)
+                self._handle.flush()
+            except (OSError, ValueError):
                 self._close_handle()
 
     def close(self) -> None:

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -308,6 +309,69 @@ class StudyStore(ArrayCache):
                   value: ShardTable) -> None:
         """Persist one completed shard's raw table."""
         self.put_by_hash(self.shard_key(spec, start, stop), value)
+
+    def shard_checksum(self, spec: StudySpec, start: int, stop: int) -> str | None:
+        """Verified bundle checksum of the ``[start, stop)`` shard, if stored.
+
+        The digest is the same ``__checksum__`` every bundle carries on
+        disk; shard manifests record it per case range so a merge can
+        detect tampering without trusting the worker.  Returns ``None``
+        when the shard is absent, the store has no disk layer, or the file
+        fails verification (see :meth:`~repro.scenario.cache.ArrayCache.stored_checksum`).
+        """
+        return self.stored_checksum(self.shard_key(spec, start, stop))
+
+    def _metadata_path(self, spec: StudySpec) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{spec.compute_hash[:40]}-meta.json"
+
+    def run_metadata(self, spec: StudySpec) -> dict | None:
+        """The run metadata recorded for ``spec``, or ``None``.
+
+        The runner persists a small JSON sidecar per spec (currently the
+        resolved kernel backend plus provenance) so a resume can detect
+        that it is about to compute new shards under different settings
+        than the shards already in the store.
+
+        Args:
+            spec: The study whose metadata to read.
+
+        Returns:
+            The recorded mapping, or ``None`` when the store has no disk
+            layer, nothing was recorded, or the sidecar is unreadable.
+        """
+        path = self._metadata_path(spec)
+        if path is None or not path.exists():
+            return None
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        return document if isinstance(document, dict) else None
+
+    def put_run_metadata(self, spec: StudySpec, metadata: dict) -> None:
+        """Persist the run metadata sidecar for ``spec`` (best effort).
+
+        Uses the same write-then-rename discipline as the array bundles;
+        an unwritable directory degrades silently (counted in
+        :attr:`~repro.scenario.cache.ArrayCache.disk_errors`) — metadata
+        must never take down the run it describes.
+        """
+        path = self._metadata_path(spec)
+        if path is None:
+            return
+        tmp_path = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp_path.write_text(json.dumps(metadata, indent=2) + "\n")
+            os.replace(tmp_path, path)
+        except OSError:
+            self.disk_errors += 1
+        finally:
+            try:
+                tmp_path.unlink(missing_ok=True)
+            except OSError:
+                pass
 
     def stored_ranges(self, spec: StudySpec) -> list[tuple[int, int]]:
         """Case ranges of ``spec`` present in the disk layer, sorted.

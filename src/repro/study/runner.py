@@ -62,10 +62,11 @@ from collections import deque
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.backend import resolve_backend_name
 from repro.errors import ConfigurationError, StudyExecutionError
 from repro.faults import CONTEXT_KEY as _FAULT_CONTEXT_KEY
 from repro.faults import FaultPlan
@@ -89,6 +90,12 @@ DEFAULT_MAX_SHARDS = 16
 
 #: Supervisor poll interval [s] while futures are in flight.
 _POLL_S = 0.05
+
+#: Layout mismatches already warned about this process, keyed by
+#: ``(compute_hash, stored layout, current layout)`` — a large resume (or a
+#: service process supervising many runs) reports each mismatch once, not
+#: once per call that rediscovers it.
+_WARNED_LAYOUTS: set[tuple] = set()
 
 
 class _RunCancelled(BaseException):
@@ -310,7 +317,9 @@ def run_study(spec: StudySpec,
               backoff_base: float = 0.25,
               backoff_cap: float = 8.0,
               journal: str | Path | RunJournal | None = None,
-              cancel: Callable[[], bool] | None = None) -> StudyRunReport:
+              cancel: Callable[[], bool] | None = None,
+              only_shards: Sequence[int] | None = None,
+              force_backend: bool = False) -> StudyRunReport:
     """Execute a study under the supervisor and merge its shards.
 
     Args:
@@ -355,6 +364,18 @@ def run_study(spec: StudySpec,
             report comes back with :attr:`StudyRunReport.cancelled` set.
             This is the deadline/drain hook of the scenario-planning
             service (:mod:`repro.service`).
+        only_shards: Optional shard indices (into the run's layout) this
+            call is responsible for; every other shard is neither reused
+            nor computed, and the report's ``shards`` total refers to the
+            slice.  The shard layout itself is always the *global* one
+            (``shard_ranges(case_count, shards)``), so any partition of the
+            indices across workers — :mod:`repro.study.distributed` uses a
+            round-robin slice — produces bundles a merge can reassemble
+            bit-identically.
+        force_backend: Accept a kernel backend that differs from the one
+            recorded in the store's run metadata (the recorded value is
+            then overwritten).  Without it, such a resume fails instead of
+            silently mixing backends in one store (see Raises).
 
     Returns:
         The :class:`StudyRunReport` with the merged
@@ -367,7 +388,14 @@ def run_study(spec: StudySpec,
             reuse them and recomputes; the warning names both layouts).
 
     Raises:
-        ConfigurationError: On invalid ``jobs``/``shards``/``retries``.
+        ConfigurationError: On invalid ``jobs``/``shards``/``retries``/
+            ``only_shards``; also when new shards are about to be computed
+            into a store whose recorded run metadata names a *different*
+            kernel backend than this run resolves to (``numpy`` vs
+            ``reference`` vs ``numba`` results agree only to tolerance,
+            not bit-for-bit, so mixing them would silently break the CRN
+            bit-identity contract) — pass ``force_backend=True``
+            (CLI ``--force``) to accept the mix.
         StudyExecutionError: When a shard exhausts its retry budget through
             crashes or timeouts and ``keep_going`` is off.  Engine
             exceptions (including injected faults) are re-raised unchanged
@@ -386,6 +414,18 @@ def run_study(spec: StudySpec,
     if shards is None:
         shards = min(case_count, DEFAULT_MAX_SHARDS)
     ranges = shard_ranges(case_count, shards)
+    selected: set[int] | None = None
+    if only_shards is not None:
+        selected = {int(i) for i in only_shards}
+        if not selected:
+            raise ConfigurationError("only_shards must name at least one shard")
+        out_of_range = sorted(i for i in selected
+                              if not 0 <= i < len(ranges))
+        if out_of_range:
+            raise ConfigurationError(
+                f"only_shards indices {out_of_range} outside the "
+                f"{len(ranges)}-shard layout")
+    context = dict(context or {})
 
     if isinstance(journal, RunJournal):
         log = journal
@@ -404,6 +444,8 @@ def run_study(spec: StudySpec,
     pending: list[tuple[int, int, int]] = []  # (shard index, start, stop)
     stored = store.stored_ranges(spec) if store is not None else []
     for index, (start, stop) in enumerate(ranges):
+        if selected is not None and index not in selected:
+            continue
         cached = store.get_shard(spec, start, stop) if store is not None else None
         if cached is not None:
             done.append(cached)
@@ -411,7 +453,7 @@ def run_study(spec: StudySpec,
         else:
             pending.append((index, start, stop))
     reused = len(done)
-    total = len(ranges)
+    total = len(selected) if selected is not None else len(ranges)
     finished = reused
     if progress is not None and reused:
         progress(finished, total, f"{reused} shards reused from store")
@@ -420,15 +462,39 @@ def run_study(spec: StudySpec,
     if foreign:
         log.emit("layout_mismatch", stored=[list(r) for r in stored],
                  current=[list(r) for r in ranges])
-        warnings.warn(
-            f"study store holds shards of {spec.name!r} under a different "
-            f"shard layout — stored ranges {stored} vs. current layout "
-            f"{ranges}; the mismatched shards cannot be reused and will be "
-            f"recomputed (rerun with the original --shards to reuse them)",
-            RuntimeWarning, stacklevel=2)
+        fingerprint = (spec.compute_hash, tuple(stored), tuple(ranges))
+        if fingerprint not in _WARNED_LAYOUTS:
+            _WARNED_LAYOUTS.add(fingerprint)
+            warnings.warn(
+                f"study store holds {len(foreign)} shard(s) of "
+                f"{spec.name!r} under a different shard layout — stored "
+                f"{len(stored)} shards {stored[0]}..{stored[-1]} vs. "
+                f"current {len(ranges)}-shard layout; the mismatched "
+                f"shards cannot be reused and will be recomputed (rerun "
+                f"with the original --shards to reuse them)",
+                RuntimeWarning, stacklevel=2)
 
     if max_shards is not None:
         pending = pending[:max_shards]
+
+    backend = resolve_backend_name(context.get("backend"))
+    if store is not None and pending:
+        # About to compute new bundles into this store: refuse to mix
+        # kernel backends (their results agree only to tolerance, which
+        # would break the bit-identity contract of resumes and merges).
+        recorded = (store.run_metadata(spec) or {}).get("backend")
+        if (recorded is not None and recorded != backend
+                and not force_backend):
+            raise ConfigurationError(
+                f"store holds shards of {spec.name!r} computed with "
+                f"backend {recorded!r}, but this run resolves to "
+                f"{backend!r}; mixing backends in one store breaks "
+                f"bit-identical resume — rerun with the recorded backend "
+                f"or pass --force to accept the mix")
+        from repro import __version__
+        store.put_run_metadata(spec, {
+            "study": spec.name, "compute_hash": spec.compute_hash,
+            "backend": backend, "version": __version__})
 
     def record(index: int, start: int, stop: int, shard: ShardTable,
                attempt: int, wall_s: float) -> None:
@@ -442,7 +508,6 @@ def run_study(spec: StudySpec,
         if progress is not None:
             progress(finished, total, f"cases [{start}:{stop})")
 
-    context = dict(context or {})
     jobs_meta: dict[int, _Attempt] = {
         index: _Attempt(index=index, start=start, stop=stop)
         for index, start, stop in pending}

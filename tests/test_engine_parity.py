@@ -316,3 +316,41 @@ class TestNetworkParity:
                                       equal_nan=True), column
             else:
                 assert values == got, column
+
+    def test_study_bit_identical_through_distributed_merge(self, tmp_path):
+        # The distributed row of the parity matrix: a 2-worker manifest
+        # split, merged back, against the same inline reference — the CRN
+        # contract extends across machine boundaries (NaN rows included:
+        # the 0.0 budget cells are infeasible).
+        from repro.experiments.network import network_study_spec
+        from repro.study import (
+            RunJournal,
+            StudyStore,
+            merge_manifests,
+            run_shard_slice,
+            run_study,
+        )
+
+        spec = network_study_spec(
+            graph="demo", segments=0, demand_scales=(1.0, 2.0),
+            energy_budgets_w_per_km=(0.0, 130.0),
+            technology_mixes=("conventional,repeater,mobile_relay",),
+            resolution_m=50.0)
+        inline = run_study(spec, shards=3, journal=RunJournal(None)).table
+        manifests = []
+        for worker in range(2):
+            store = StudyStore(maxsize=8,
+                               cache_dir=tmp_path / f"worker{worker}")
+            manifests.append(run_shard_slice(
+                spec, worker, 2, store, shards=3,
+                journal=RunJournal(None)).manifest_path)
+        merged = merge_manifests(spec, manifests).table
+        assert set(inline.long()) == set(merged.long())
+        for column, values in inline.long().items():
+            got = merged.long()[column]
+            if all(isinstance(v, (int, float)) for v in values):
+                assert np.array_equal(np.asarray(values, dtype=np.float64),
+                                      np.asarray(got, dtype=np.float64),
+                                      equal_nan=True), column
+            else:
+                assert values == got, column

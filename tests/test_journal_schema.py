@@ -25,6 +25,7 @@ from pathlib import Path
 import pytest
 
 import repro.service.jobstore
+import repro.study.distributed
 import repro.study.journal
 import repro.study.runner
 from repro.study.journal import RunJournal, read_journal, scan_journal
@@ -92,7 +93,14 @@ class TestRunnerJournalSchema:
         return parse_event_table(repro.study.journal.__doc__)
 
     def sites(self):
-        return emit_call_sites(repro.study.runner)
+        # The run.jsonl schema is emitted by two modules: the supervised
+        # runner and the distributed layer (shard manifests, merge,
+        # refresh) — the table documents their union.
+        sites = emit_call_sites(repro.study.runner)
+        for event, field_sets in emit_call_sites(
+                repro.study.distributed).items():
+            sites.setdefault(event, []).extend(field_sets)
+        return sites
 
     def test_every_emitted_event_is_documented(self):
         table = self.table()
@@ -107,8 +115,8 @@ class TestRunnerJournalSchema:
         emitted = set(self.sites())
         documented = set(self.table())
         assert documented == emitted, (
-            f"journal.py documents events never emitted by the runner: "
-            f"{sorted(documented - emitted)}")
+            f"journal.py documents events never emitted by the runner or "
+            f"the distributed layer: {sorted(documented - emitted)}")
 
 
 class TestJobStoreSchema:

@@ -246,6 +246,71 @@ class TestDedup:
         assert created and second.job != first.job
 
 
+# -- distributed slice jobs (ISSUE-10) ----------------------------------------
+
+
+class TestSliceJobs:
+    def slice_request(self, index, of, **extra):
+        return JobRequest.from_mapping(
+            {"study": MC_DOC, "shards": 2,
+             "shard_index": index, "shard_of": of, **extra}, client="c")
+
+    def test_slice_fields_must_come_together(self):
+        with pytest.raises(ConfigurationError, match="together"):
+            JobRequest.from_mapping({"study": MC_DOC, "shard_index": 0})
+        with pytest.raises(ConfigurationError, match="together"):
+            JobRequest.from_mapping({"study": MC_DOC, "shard_of": 2})
+
+    def test_slice_index_must_be_inside_the_split(self):
+        with pytest.raises(ConfigurationError, match="shard_index"):
+            JobRequest.from_mapping(
+                {"study": MC_DOC, "shard_index": 2, "shard_of": 2})
+        with pytest.raises(ConfigurationError, match="shard_of"):
+            JobRequest.from_mapping(
+                {"study": MC_DOC, "shard_index": 0, "shard_of": 0})
+
+    def test_options_round_trip_preserves_the_slice(self):
+        request = self.slice_request(1, 2)
+        rebuilt = JobRequest.from_mapping(
+            {"study": MC_DOC, **request.options()}, client="c")
+        assert (rebuilt.shard_index, rebuilt.shard_of) == (1, 2)
+        assert rebuilt.spec().compute_hash == request.spec().compute_hash
+
+    def test_slice_jobs_complete_and_leave_signed_manifests(self, tmp_path):
+        from repro.study.distributed import merge_manifests
+        from repro.study.manifest import default_manifest_name, load_manifest
+
+        queue = JobQueue(tmp_path, workers=1)
+        queue.start()
+        try:
+            jobs = [queue.submit(self.slice_request(index, 2))[0]
+                    for index in range(2)]
+            for job in jobs:
+                assert wait_terminal(queue, job.job).state == "done"
+        finally:
+            queue.drain(5.0)
+        spec = parse_study(json.dumps(MC_DOC))
+        paths = [tmp_path / "shards" / default_manifest_name(spec, index, 2)
+                 for index in range(2)]
+        manifests = [load_manifest(path) for path in paths]  # signatures ok
+        assert sorted(m.worker for m in manifests) == [0, 1]
+        # The attested slices merge bit-identically to an inline run.
+        merged = merge_manifests(spec, paths).table.wide()
+        assert merged == run_study(spec).table.wide()
+
+    def test_slices_and_full_runs_never_coalesce(self, tmp_path):
+        queue = JobQueue(tmp_path, workers=1, max_queue=4)
+        full, _ = queue.submit(JobRequest.from_mapping(
+            {"study": MC_DOC, "shards": 2}, client="c"))
+        first, created_first = queue.submit(self.slice_request(0, 2))
+        second, created_second = queue.submit(self.slice_request(1, 2))
+        assert created_first and created_second
+        assert len({full.job, first.job, second.job}) == 3
+        # The same slice resubmitted does coalesce, as a full run would.
+        again, created = queue.submit(self.slice_request(0, 2))
+        assert not created and again.job == first.job
+
+
 # -- deadlines ----------------------------------------------------------------
 
 

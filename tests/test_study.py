@@ -608,3 +608,97 @@ class TestStudyCli:
         path.write_text("name: x\nengine: nope\naxes:\n  isd_m: [1.0]\n")
         assert main(["study", "run", str(path)]) == 2
         assert "cannot load" in capsys.readouterr().err
+
+
+# -- store guards (ISSUE-10 satellites) ---------------------------------------
+
+
+class TestStoreBackendGuard:
+    """A store records the kernel backend that computed it; a resume that
+    would compute *new* shards under a different backend must fail loudly
+    (mixed-backend stores are only tolerance-equal, never bit-identical)
+    instead of being silently accepted."""
+
+    def _seed_store(self, tmp_path):
+        spec = mc_spec()
+        store = StudyStore(maxsize=8, cache_dir=tmp_path / "store")
+        run_study(spec, shards=4, store=store)
+        return spec, store
+
+    def _drop_one_bundle(self, spec, tmp_path):
+        bundle = sorted((tmp_path / "store").glob(
+            f"{spec.compute_hash[:40]}-*.npz"))[0]
+        bundle.unlink()
+
+    def test_pure_reuse_never_trips_the_guard(self, tmp_path):
+        spec, _ = self._seed_store(tmp_path)
+        # Nothing pending -> nothing mixes, any backend may read.
+        fresh = StudyStore(maxsize=8, cache_dir=tmp_path / "store")
+        report = run_study(spec, shards=4, store=fresh,
+                           context={"backend": "reference"})
+        assert report.computed_shards == 0
+
+    def test_resume_with_other_backend_refused(self, tmp_path):
+        spec, store = self._seed_store(tmp_path)
+        assert store.run_metadata(spec)["backend"] == "numpy"
+        self._drop_one_bundle(spec, tmp_path)
+        fresh = StudyStore(maxsize=8, cache_dir=tmp_path / "store")
+        with pytest.raises(ConfigurationError, match="backend"):
+            run_study(spec, shards=4, store=fresh,
+                      context={"backend": "reference"})
+
+    def test_force_backend_accepts_and_rerecords(self, tmp_path):
+        spec, _ = self._seed_store(tmp_path)
+        self._drop_one_bundle(spec, tmp_path)
+        fresh = StudyStore(maxsize=8, cache_dir=tmp_path / "store")
+        report = run_study(spec, shards=4, store=fresh,
+                           context={"backend": "reference"},
+                           force_backend=True)
+        assert report.computed_shards == 1
+        assert fresh.run_metadata(spec)["backend"] == "reference"
+
+    def test_cli_resume_backend_mismatch(self, tmp_path, capsys):
+        path = tmp_path / "study.yaml"
+        path.write_text(MC_TEXT)
+        store = tmp_path / "store"
+        assert main(["study", "run", str(path), "--quiet",
+                     "--store", str(store)]) == 0
+        spec = mc_spec()
+        sorted(store.glob(f"{spec.compute_hash[:40]}-*.npz"))[0].unlink()
+        assert main(["study", "resume", str(path), "--quiet",
+                     "--store", str(store),
+                     "--backend", "reference"]) == 1
+        assert "backend" in capsys.readouterr().err
+        assert main(["study", "resume", str(path), "--quiet",
+                     "--store", str(store), "--backend", "reference",
+                     "--force"]) == 0
+
+
+class TestLayoutMismatchWarning:
+    def test_layout_mismatch_warns_once_per_process(self, tmp_path):
+        import repro.study.runner as runner_mod
+
+        spec = mc_spec()
+        store = StudyStore(maxsize=8, cache_dir=tmp_path / "store")
+        run_study(spec, shards=4, store=store)
+        runner_mod._WARNED_LAYOUTS.clear()
+        # Two runs rediscovering the same mismatch (max_shards=0 keeps the
+        # store unchanged between them): exactly one warning, naming both
+        # layouts -- not one line of spam per call.
+        with pytest.warns(RuntimeWarning,
+                          match="different shard layout") as record:
+            run_study(spec, shards=2, store=store, max_shards=0)
+            run_study(spec, shards=2, store=store, max_shards=0)
+        layout_warnings = [w for w in record
+                           if "different shard layout" in str(w.message)]
+        assert len(layout_warnings) == 1
+        message = str(layout_warnings[0].message)
+        assert "4 shards" in message and "2-shard layout" in message
+
+    def test_matching_layout_never_warns(self, tmp_path, recwarn):
+        spec = mc_spec()
+        store = StudyStore(maxsize=8, cache_dir=tmp_path / "store")
+        run_study(spec, shards=4, store=store)
+        run_study(spec, shards=4, store=store)
+        assert not [w for w in recwarn
+                    if issubclass(w.category, RuntimeWarning)]

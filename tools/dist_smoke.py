@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""CI distributed smoke: shard a study across workers, merge, assert parity.
+
+Usage::
+
+    PYTHONPATH=src python tools/dist_smoke.py \\
+        [--study studies/national_network.yaml]
+
+Subprocess legs through the real ``repro study`` CLI:
+
+1. **clean** — the study as one single-process run (exit 0, reference rows);
+2. **shards** — the same study as three independent ``repro study shard``
+   invocations (worker K of 3, each with its own store and manifest); one
+   worker runs under an injected hard-crash fault plan with ``--retries``,
+   so the supervisor's recovery machinery is exercised inside a slice
+   (all exit 0);
+3. **merge** — ``repro study merge`` over the three manifests (exit 0);
+   the merged rows must be byte-identical to the clean leg;
+4. **tamper** — the merge re-run against a hand-corrupted manifest must be
+   rejected with exit 4 (structured validation, not a quiet wrong table).
+
+When ``BENCH_JSON_DIR`` is set, a ``BENCH_dist.json`` record (exit codes,
+wall times, retry evidence, parity verdict) is written so the distributed
+evidence rides the same CI artifact as the perf records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.study import read_journal  # noqa: E402
+
+WORKERS = 3
+
+
+def run_cli(args: list[str], label: str) -> tuple[int, float]:
+    """Run a ``repro study`` subcommand; return (exit code, wall seconds)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    command = [sys.executable, "-m", "repro", "study", *args]
+    print(f"[dist-smoke] {label}: {' '.join(command[3:])}")
+    t0 = time.perf_counter()
+    proc = subprocess.run(command, cwd=REPO, env=env)
+    wall_s = time.perf_counter() - t0
+    print(f"[dist-smoke] {label}: exit {proc.returncode} in {wall_s:.1f}s")
+    return proc.returncode, wall_s
+
+
+def load_rows(path: Path) -> list[dict]:
+    return json.loads(path.read_text())["rows"]
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--study", default=str(REPO / "studies/national_network.yaml"),
+        help="study document to run (default: national_network.yaml)")
+    parser.add_argument("--shards", type=int, default=6,
+                        help="global shard count shared by all workers")
+    args = parser.parse_args(argv)
+
+    work = Path(tempfile.mkdtemp(prefix="dist-smoke-"))
+    record: dict = {"study": args.study, "shards": args.shards,
+                    "workers": WORKERS}
+    try:
+        # Leg 1: clean single-process reference.
+        clean_json = work / "clean.json"
+        code, record["clean_s"] = run_cli(
+            ["run", args.study, "--quiet", "--shards", str(args.shards),
+             "--json", str(clean_json)], "clean")
+        if code != 0:
+            print(f"[dist-smoke] FAIL: clean run exited {code}")
+            return 1
+
+        # Leg 2: three independent shard slices.  Worker 1 runs under an
+        # injected hard-crash on the first attempt of one of its shards
+        # (round-robin: worker 1 of 3 owns global shards 1, 4, ...) and
+        # must recover via --retries.
+        manifests: list[Path] = []
+        record["worker_s"] = []
+        for worker in range(WORKERS):
+            store = work / f"worker{worker}"
+            manifest = store / f"manifest-w{worker}.json"
+            cli = ["shard", args.study, "--quiet",
+                   "--index", str(worker), "--of", str(WORKERS),
+                   "--shards", str(args.shards), "--store", str(store),
+                   "--manifest", str(manifest)]
+            if worker == 1:
+                plan = work / "plan.json"
+                plan.write_text(json.dumps({"faults": [
+                    {"shard": 1, "attempt": 1, "action": "crash"},
+                ]}))
+                cli += ["--jobs", "2", "--retries", "2",
+                        "--fault-plan", str(plan)]
+            code, wall_s = run_cli(cli, f"worker {worker}/{WORKERS}")
+            record["worker_s"].append(wall_s)
+            if code != 0:
+                print(f"[dist-smoke] FAIL: worker {worker} exited {code}")
+                return 1
+            manifests.append(manifest)
+
+        faulted = read_journal(work / "worker1" / "run.jsonl")
+        retries = sum(1 for e in faulted if e["event"] == "retry")
+        record["worker1_retries"] = retries
+        if retries < 1:
+            print("[dist-smoke] FAIL: faulted worker journal shows no retry")
+            return 1
+
+        # Leg 3: merge the three manifests; rows must be byte-identical
+        # to the clean single-process run.
+        merged_json = work / "merged.json"
+        merged_store = work / "merged"
+        code, record["merge_s"] = run_cli(
+            ["merge", args.study, *[str(p) for p in manifests],
+             "--out-store", str(merged_store), "--quiet",
+             "--json", str(merged_json)], "merge")
+        record["merge_exit"] = code
+        if code != 0:
+            print(f"[dist-smoke] FAIL: merge exited {code}, expected 0")
+            return 1
+        parity = load_rows(merged_json) == load_rows(clean_json)
+        record["rows_identical"] = parity
+        if not parity:
+            print("[dist-smoke] FAIL: merged rows differ from clean run")
+            return 1
+
+        # Leg 4: a tampered manifest must be rejected with exit 4.
+        document = json.loads(manifests[2].read_text())
+        document["manifest"]["shards"][0]["checksum"] = "0" * 64
+        manifests[2].write_text(json.dumps(document))
+        code, record["tamper_s"] = run_cli(
+            ["merge", args.study, *[str(p) for p in manifests],
+             "--quiet"], "tamper")
+        record["tamper_exit"] = code
+        if code != 4:
+            print(f"[dist-smoke] FAIL: tampered merge exited {code}, "
+                  "expected 4")
+            return 1
+
+        out_dir = os.environ.get("BENCH_JSON_DIR")
+        if out_dir:
+            out = Path(out_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            (out / "BENCH_dist.json").write_text(
+                json.dumps(record, indent=2, sort_keys=True) + "\n")
+        print(f"[dist-smoke] PASS: {WORKERS}-worker merge identical to "
+              "clean run, faulted worker recovered, tampered manifest "
+              "rejected (exit 4)")
+        return 0
+    finally:
+        shutil.rmtree(work, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
